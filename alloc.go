@@ -1,0 +1,83 @@
+package simdram
+
+// rowAlloc manages the data rows of one subarray with a first-fit free
+// list, so kernels can allocate and free temporaries without exhausting
+// the subarray. The scratch region used during μProgram execution is
+// carved from the free tail at run time.
+type rowAlloc struct {
+	limit int
+	free  [][2]int // sorted, disjoint [start, size) intervals
+}
+
+func newRowAlloc(limit int) *rowAlloc {
+	return &rowAlloc{limit: limit, free: [][2]int{{0, limit}}}
+}
+
+// alloc reserves n contiguous rows, first fit from the bottom.
+func (a *rowAlloc) alloc(n int) (int, bool) {
+	for i, iv := range a.free {
+		if iv[1] >= n {
+			start := iv[0]
+			if iv[1] == n {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i] = [2]int{iv[0] + n, iv[1] - n}
+			}
+			return start, true
+		}
+	}
+	return 0, false
+}
+
+// release returns [start, start+n) to the free list, merging neighbors.
+func (a *rowAlloc) release(start, n int) {
+	if n <= 0 {
+		return
+	}
+	idx := len(a.free)
+	for i, iv := range a.free {
+		if iv[0] > start {
+			idx = i
+			break
+		}
+	}
+	a.free = append(a.free, [2]int{})
+	copy(a.free[idx+1:], a.free[idx:])
+	a.free[idx] = [2]int{start, n}
+	// Merge around idx.
+	merged := a.free[:0]
+	for _, iv := range a.free {
+		if m := len(merged); m > 0 && merged[m-1][0]+merged[m-1][1] >= iv[0] {
+			end := iv[0] + iv[1]
+			if prevEnd := merged[m-1][0] + merged[m-1][1]; prevEnd > end {
+				end = prevEnd
+			}
+			merged[m-1][1] = end - merged[m-1][0]
+		} else {
+			merged = append(merged, iv)
+		}
+	}
+	a.free = merged
+}
+
+// tailFree returns how many rows at the very top of the region are free —
+// the space available for a μProgram's scratch rows.
+func (a *rowAlloc) tailFree() int {
+	if len(a.free) == 0 {
+		return 0
+	}
+	last := a.free[len(a.free)-1]
+	if last[0]+last[1] == a.limit {
+		return last[1]
+	}
+	return 0
+}
+
+// inUse returns the number of allocated rows.
+func (a *rowAlloc) inUse() int {
+	used := a.limit
+	for _, iv := range a.free {
+		used -= iv[1]
+	}
+	return used
+}

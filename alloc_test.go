@@ -1,0 +1,79 @@
+package simdram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRowAllocFirstFit(t *testing.T) {
+	a := newRowAlloc(100)
+	s1, ok := a.alloc(30)
+	if !ok || s1 != 0 {
+		t.Fatalf("first alloc at %d, want 0", s1)
+	}
+	s2, _ := a.alloc(30)
+	s3, _ := a.alloc(30)
+	if s2 != 30 || s3 != 60 {
+		t.Fatalf("sequential allocs at %d, %d", s2, s3)
+	}
+	if _, ok := a.alloc(20); ok {
+		t.Fatal("allocation beyond capacity must fail")
+	}
+	a.release(s2, 30)
+	s4, ok := a.alloc(20)
+	if !ok || s4 != 30 {
+		t.Fatalf("freed hole should be reused at 30, got %d", s4)
+	}
+}
+
+func TestRowAllocMergeAndTail(t *testing.T) {
+	a := newRowAlloc(100)
+	s1, _ := a.alloc(40)
+	s2, _ := a.alloc(40)
+	if a.tailFree() != 20 {
+		t.Fatalf("tailFree = %d, want 20", a.tailFree())
+	}
+	a.release(s2, 40)
+	if a.tailFree() != 60 {
+		t.Fatalf("tailFree after release = %d, want 60 (merged)", a.tailFree())
+	}
+	a.release(s1, 40)
+	if a.tailFree() != 100 || a.inUse() != 0 {
+		t.Fatalf("full release should merge everything: tail=%d used=%d", a.tailFree(), a.inUse())
+	}
+	if len(a.free) != 1 {
+		t.Fatalf("free list should be a single interval, have %d", len(a.free))
+	}
+}
+
+func TestRowAllocRandomizedInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := newRowAlloc(512)
+	type block struct{ start, size int }
+	var live []block
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			size := 1 + rng.Intn(48)
+			if start, ok := a.alloc(size); ok {
+				for _, b := range live {
+					if start < b.start+b.size && b.start < start+size {
+						t.Fatalf("overlap: [%d,%d) with [%d,%d)", start, start+size, b.start, b.start+b.size)
+					}
+				}
+				live = append(live, block{start, size})
+			}
+		} else {
+			i := rng.Intn(len(live))
+			a.release(live[i].start, live[i].size)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		used := 0
+		for _, b := range live {
+			used += b.size
+		}
+		if a.inUse() != used {
+			t.Fatalf("accounting drift: alloc says %d, live blocks %d", a.inUse(), used)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package simdram
+
+import (
+	"simdram/internal/logic"
+	"simdram/internal/ops"
+)
+
+// Builder constructs the gate-level circuit of a user-defined operation.
+// It is the public face of SIMDRAM Step 1's front end: describe the
+// function with AND/OR/XOR/NOT/MAJ/MUX over little-endian buses, and the
+// framework lowers it to an optimized MAJ/NOT graph and an in-DRAM
+// μProgram — the paper's "implement arbitrary operations as required"
+// without hardware changes.
+//
+// Gate methods fold constants and share identical subexpressions
+// automatically; three-input Xor lowers to the 3-MAJ full-adder form.
+type Builder struct {
+	c *logic.Circuit
+}
+
+// Wire is a node of the circuit under construction.
+type Wire int
+
+// Bus is a little-endian group of wires (bit 0 first).
+type Bus []Wire
+
+// Operand returns the width-bit bus of source operand k (the order
+// operands are passed to Run). Call once per operand, in order.
+func (b *Builder) Operand(name string, width int) Bus {
+	raw := b.c.InputBus(name, width)
+	return wires(raw)
+}
+
+// OperandBit returns a 1-bit operand (e.g. a predicate produced by a
+// relational operation).
+func (b *Builder) OperandBit(name string) Wire {
+	return Wire(b.c.Input(name))
+}
+
+// Const returns the constant wire v.
+func (b *Builder) Const(v bool) Wire { return Wire(b.c.Const(v)) }
+
+// And returns the conjunction of wires.
+func (b *Builder) And(ws ...Wire) Wire { return Wire(b.c.And(ints(ws)...)) }
+
+// Or returns the disjunction of wires.
+func (b *Builder) Or(ws ...Wire) Wire { return Wire(b.c.Or(ints(ws)...)) }
+
+// Xor returns the exclusive-or of wires.
+func (b *Builder) Xor(ws ...Wire) Wire { return Wire(b.c.Xor(ints(ws)...)) }
+
+// Not returns the complement.
+func (b *Builder) Not(w Wire) Wire { return Wire(b.c.Not(int(w))) }
+
+// Maj returns the three-input majority — the substrate-native gate.
+func (b *Builder) Maj(x, y, z Wire) Wire { return Wire(b.c.Maj(int(x), int(y), int(z))) }
+
+// Mux returns sel ? t : f.
+func (b *Builder) Mux(sel, t, f Wire) Wire { return Wire(b.c.Mux(int(sel), int(t), int(f))) }
+
+// Output declares the result bus (call exactly once).
+func (b *Builder) Output(bus Bus, name string) {
+	b.c.OutputBus(ints(bus), name)
+}
+
+// OutputBit declares a 1-bit result.
+func (b *Builder) OutputBit(w Wire, name string) {
+	b.c.Output(int(w), name)
+}
+
+// --- word-level helpers ---
+
+// Add returns a + b (mod 2^len) over equal-length buses.
+func (b *Builder) Add(x, y Bus) Bus {
+	sum, _ := b.AddCarry(x, y, b.Const(false))
+	return sum
+}
+
+// AddCarry returns x + y + cin and the carry-out.
+func (b *Builder) AddCarry(x, y Bus, cin Wire) (Bus, Wire) {
+	carry := cin
+	out := make(Bus, len(x))
+	for i := range x {
+		out[i] = b.Xor(x[i], y[i], carry)
+		carry = b.Maj(x[i], y[i], carry)
+	}
+	return out, carry
+}
+
+// Sub returns x - y (mod 2^len).
+func (b *Builder) Sub(x, y Bus) Bus {
+	ny := make(Bus, len(y))
+	for i := range y {
+		ny[i] = b.Not(y[i])
+	}
+	diff, _ := b.AddCarry(x, ny, b.Const(true))
+	return diff
+}
+
+// GreaterEq returns the 1-bit result of unsigned x >= y.
+func (b *Builder) GreaterEq(x, y Bus) Wire {
+	carry := b.Const(true)
+	for i := range x {
+		carry = b.Maj(x[i], b.Not(y[i]), carry)
+	}
+	return carry
+}
+
+// Select returns sel ? x : y element-wise over equal-length buses.
+func (b *Builder) Select(sel Wire, x, y Bus) Bus {
+	out := make(Bus, len(x))
+	for i := range x {
+		out[i] = b.Mux(sel, x[i], y[i])
+	}
+	return out
+}
+
+func wires(raw []int) Bus {
+	out := make(Bus, len(raw))
+	for i, r := range raw {
+		out[i] = Wire(r)
+	}
+	return out
+}
+
+func ints(ws []Wire) []int {
+	out := make([]int, len(ws))
+	for i, w := range ws {
+		out[i] = int(w)
+	}
+	return out
+}
+
+// OperationSpec describes a user-defined operation for DefineOperation.
+type OperationSpec struct {
+	Name  string
+	Arity int // number of source operands
+	// DstWidth returns the result width for a given source width; nil
+	// means same-width.
+	DstWidth func(width int) int
+	// SrcWidths returns per-operand widths; nil means all equal to the
+	// requested width.
+	SrcWidths func(width int) []int
+	// Build describes the circuit: declare exactly Arity operands (in
+	// order) and one output.
+	Build func(b *Builder, width int) error
+	// Golden computes the reference result for one element; it doubles
+	// as the CPU-side oracle in tests and verification.
+	Golden func(args []uint64, width int) uint64
+}
+
+// DefineOperation registers a new SIMDRAM operation. Once registered it
+// behaves exactly like a built-in: System.Run(spec.Name, …) synthesizes
+// (and caches) its μProgram per width and executes it in DRAM.
+func DefineOperation(spec OperationSpec) error {
+	if spec.Build == nil {
+		return errorf("DefineOperation: missing Build")
+	}
+	dstWidth := spec.DstWidth
+	if dstWidth == nil {
+		dstWidth = func(w int) int { return w }
+	}
+	d := ops.Def{
+		Name:      spec.Name,
+		Arity:     spec.Arity,
+		DstWidth:  dstWidth,
+		SrcWidths: spec.SrcWidths,
+		Golden:    spec.Golden,
+		Build: func(w, n int) (*logic.Circuit, error) {
+			b := &Builder{c: logic.New()}
+			if err := spec.Build(b, w); err != nil {
+				return nil, err
+			}
+			if err := b.c.Validate(); err != nil {
+				return nil, err
+			}
+			return b.c, nil
+		},
+	}
+	_, err := ops.RegisterCustom(d)
+	return err
+}

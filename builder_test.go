@@ -1,0 +1,170 @@
+package simdram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// defineAbsDiff registers |a-b| once for the test binary.
+func defineAbsDiff(t *testing.T) {
+	t.Helper()
+	err := DefineOperation(OperationSpec{
+		Name:  "test_absdiff",
+		Arity: 2,
+		Build: func(b *Builder, width int) error {
+			a := b.Operand("a", width)
+			c := b.Operand("b", width)
+			ge := b.GreaterEq(a, c)
+			// |a-b| = a>=b ? a-b : b-a
+			b.Output(b.Select(ge, b.Sub(a, c), b.Sub(c, a)), "y")
+			return nil
+		},
+		Golden: func(args []uint64, width int) uint64 {
+			mask := uint64(1)<<uint(width) - 1
+			a, c := args[0]&mask, args[1]&mask
+			if a >= c {
+				return a - c
+			}
+			return c - a
+		},
+	})
+	if err != nil && err.Error() != `ops: operation "test_absdiff" already registered` {
+		t.Fatal(err)
+	}
+}
+
+func TestDefineOperationEndToEnd(t *testing.T) {
+	defineAbsDiff(t)
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(61))
+	n, w := 300, 12
+	a, _ := sys.AllocVector(n, w)
+	b, _ := sys.AllocVector(n, w)
+	dst, _ := sys.AllocVector(n, w)
+	av := randVals(rng, n, w)
+	bv := randVals(rng, n, w)
+	a.Store(av)
+	b.Store(bv)
+	st, err := sys.Run("test_absdiff", dst, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Commands == 0 {
+		t.Error("custom op must account commands")
+	}
+	got, err := dst.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want, err := Golden("test_absdiff", w, av[i], bv[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("element %d: |%d-%d| = %d, want %d", i, av[i], bv[i], got[i], want)
+		}
+	}
+	// The fused op must be listed like a built-in.
+	found := false
+	for _, name := range Operations() {
+		if name == "test_absdiff" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("custom operation missing from Operations()")
+	}
+}
+
+func TestDefineOperationValidation(t *testing.T) {
+	if err := DefineOperation(OperationSpec{Name: "x", Arity: 1}); err == nil {
+		t.Error("missing Build must error")
+	}
+	err := DefineOperation(OperationSpec{
+		Name: "", Arity: 1,
+		Build:  func(b *Builder, w int) error { return nil },
+		Golden: func(args []uint64, w int) uint64 { return 0 },
+	})
+	if err == nil {
+		t.Error("empty name must error")
+	}
+	defineAbsDiff(t)
+	err = DefineOperation(OperationSpec{
+		Name: "test_absdiff", Arity: 2,
+		Build: func(b *Builder, w int) error {
+			b.Output(b.Operand("a", w), "y")
+			_ = b.Operand("b", w)
+			return nil
+		},
+		Golden: func(args []uint64, w int) uint64 { return args[0] },
+	})
+	if err == nil {
+		t.Error("duplicate name must error")
+	}
+}
+
+func TestBuilderHelpers(t *testing.T) {
+	// A clamp(a, lo, hi) built purely from helpers.
+	err := DefineOperation(OperationSpec{
+		Name:  "test_clamp",
+		Arity: 3,
+		Build: func(b *Builder, width int) error {
+			a := b.Operand("a", width)
+			lo := b.Operand("lo", width)
+			hi := b.Operand("hi", width)
+			belowLo := b.Not(b.GreaterEq(a, lo)) // a < lo
+			aboveHi := b.Not(b.GreaterEq(hi, a)) // a > hi
+			clamped := b.Select(belowLo, lo, b.Select(aboveHi, hi, a))
+			b.Output(clamped, "y")
+			return nil
+		},
+		Golden: func(args []uint64, width int) uint64 {
+			mask := uint64(1)<<uint(width) - 1
+			a, lo, hi := args[0]&mask, args[1]&mask, args[2]&mask
+			if a < lo {
+				return lo
+			}
+			if a > hi {
+				return hi
+			}
+			return a
+		},
+	})
+	if err != nil && err.Error() != `ops: operation "test_clamp" already registered` {
+		t.Fatal(err)
+	}
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(62))
+	n, w := 200, 8
+	a, _ := sys.AllocVector(n, w)
+	lo, _ := sys.AllocVector(n, w)
+	hi, _ := sys.AllocVector(n, w)
+	dst, _ := sys.AllocVector(n, w)
+	av := randVals(rng, n, w)
+	lov := make([]uint64, n)
+	hiv := make([]uint64, n)
+	for i := range lov {
+		lov[i] = 50
+		hiv[i] = 200
+	}
+	a.Store(av)
+	lo.Store(lov)
+	hi.Store(hiv)
+	if _, err := sys.Run("test_clamp", dst, a, lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dst.Load()
+	for i := range got {
+		want := av[i]
+		if want < 50 {
+			want = 50
+		}
+		if want > 200 {
+			want = 200
+		}
+		if got[i] != want {
+			t.Fatalf("clamp(%d) = %d, want %d", av[i], got[i], want)
+		}
+	}
+}

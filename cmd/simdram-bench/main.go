@@ -1,0 +1,68 @@
+// simdram-bench regenerates every table and figure of the SIMDRAM
+// evaluation (experiments E1-E8, see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	simdram-bench               # run everything
+//	simdram-bench -only E2,E3   # run a subset
+//	simdram-bench -trials 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"simdram/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E4); empty = all")
+	trials := flag.Int("trials", 100000, "Monte Carlo trials for the reliability experiment (E5)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type gen func() (experiments.Table, error)
+	runners := []struct {
+		id  string
+		run gen
+	}{
+		{"E1", func() (experiments.Table, error) { return experiments.E1CommandCounts([]int{8, 16, 32, 64}) }},
+		{"E2-16", func() (experiments.Table, error) { return experiments.E2Throughput(16) }},
+		{"E2", func() (experiments.Table, error) { return experiments.E2Throughput(32) }},
+		{"E3", func() (experiments.Table, error) { return experiments.E3Energy(32) }},
+		{"E4", experiments.E4Kernels},
+		{"E5", func() (experiments.Table, error) { return experiments.E5Reliability(*trials), nil }},
+		{"E6", func() (experiments.Table, error) { return experiments.E6Area(), nil }},
+		{"E7", experiments.E7WidthScaling},
+		{"E8", experiments.E8Transposition},
+		{"E9", func() (experiments.Table, error) { return experiments.E9Ablation(16) }},
+		{"E9-groups", func() (experiments.Table, error) { return experiments.E9Groups(16) }},
+		{"E10", experiments.E10RowHammer},
+	}
+	failed := false
+	for _, r := range runners {
+		base := strings.SplitN(r.id, "-", 2)[0]
+		if !selected(base) {
+			continue
+		}
+		tab, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tab.String())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+// simdram-synth exposes the SIMDRAM synthesis pipeline: it lowers an
+// operation through Step 1 (gate circuit → optimized MIG) and Step 2
+// (MIG → μProgram) and prints what each step produced — sizes, depths,
+// command counts, and optionally the full μProgram listing.
+//
+// Usage:
+//
+//	simdram-synth -op addition -width 8
+//	simdram-synth -op max -width 16 -variant ambit -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simdram/internal/dram"
+	"simdram/internal/mig"
+	"simdram/internal/ops"
+	"simdram/internal/rowhammer"
+)
+
+func main() {
+	opName := flag.String("op", "addition", "operation to synthesize")
+	width := flag.Int("width", 8, "element width in bits")
+	n := flag.Int("n", 3, "operand count for N-ary operations")
+	variantName := flag.String("variant", "simdram", "simdram | ambit | no-optimize | no-reuse")
+	dump := flag.Bool("dump", false, "print the full μProgram listing")
+	dot := flag.Bool("dot", false, "emit the optimized MIG as Graphviz DOT and exit")
+	hammer := flag.Bool("rowhammer", false, "print the RowHammer exposure report")
+	flag.Parse()
+
+	if err := run(*opName, *width, *n, *variantName, *dump, *dot, *hammer); err != nil {
+		fmt.Fprintln(os.Stderr, "simdram-synth:", err)
+		os.Exit(1)
+	}
+}
+
+func run(opName string, width, n int, variantName string, dump, dot, hammer bool) error {
+	d, err := ops.ByName(opName)
+	if err != nil {
+		return err
+	}
+	var variant ops.Variant
+	switch variantName {
+	case "simdram":
+		variant = ops.VariantSIMDRAM
+	case "ambit":
+		variant = ops.VariantAmbit
+	case "no-optimize":
+		variant = ops.VariantNoOptimize
+	case "no-reuse":
+		variant = ops.VariantNoReuse
+	default:
+		return fmt.Errorf("unknown variant %q", variantName)
+	}
+	s, err := ops.Synthesize(d, width, n, variant)
+	if err != nil {
+		return err
+	}
+	if dot {
+		return s.MIG.WriteDOT(os.Stdout, fmt.Sprintf("%s_%d", d.Name, width))
+	}
+	// Unoptimized MIG for the Step-1 comparison.
+	raw, err := mig.FromCircuit(s.Circuit)
+	if err != nil {
+		return err
+	}
+	raw.Compact()
+	tm := dram.DDR4_2400()
+	e := dram.DDR4Energy()
+
+	fmt.Printf("operation   %s, %d-bit, variant %s\n\n", d.Name, width, variant)
+	fmt.Printf("step 0      gate circuit: %d gates, depth %d\n", s.Circuit.GateCount(), s.Circuit.Depth())
+	fmt.Printf("step 1      raw MIG:       %d MAJ, depth %d, %d inverters\n", raw.Size(), raw.Depth(), raw.InverterCount())
+	fmt.Printf("            final MIG:     %d MAJ, depth %d, %d inverters\n", s.MIG.Size(), s.MIG.Depth(), s.MIG.InverterCount())
+	fmt.Printf("step 2      μprogram:      %d commands (%d AAP-class, %d AP), %d scratch rows\n",
+		len(s.Program.Ops), s.Program.NumAAP(), s.Program.NumAP(), s.Program.NumScratch)
+	fmt.Printf("cost        %.0f ns latency, %.1f nJ per subarray batch (%.2f pJ/element at 65536 lanes)\n",
+		s.Program.LatencyNs(tm), s.Program.EnergyPJ(e)/1e3, s.Program.EnergyPJ(e)/65536)
+	if hammer {
+		fmt.Println()
+		rep := rowhammer.Analyze(s.Program, tm)
+		fmt.Print(rep.String())
+		if rep.Exceeds(rowhammer.ThresholdDDR4) {
+			fmt.Printf("exceeds the DDR4 threshold (%d): the control unit must refresh %d neighbor rows per window\n",
+				rowhammer.ThresholdDDR4, rep.MitigationRefreshes(rowhammer.ThresholdDDR4))
+		}
+	}
+	if dump {
+		fmt.Println()
+		fmt.Print(s.Program.String())
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// simdram-trace executes one SIMDRAM operation in the simulator and
+// dumps the physical DRAM command trace it produced — the raw ACTIVATE
+// stream a memory-systems researcher would inspect or replay in an
+// external DRAM simulator — plus the per-row activation histogram that
+// feeds RowHammer analysis.
+//
+// Usage:
+//
+//	simdram-trace -op addition -width 8 -n 1000
+//	simdram-trace -op greater -width 16 -limit 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"simdram"
+	"simdram/internal/ops"
+	"simdram/internal/trace"
+)
+
+func main() {
+	opName := flag.String("op", "addition", "operation to trace")
+	width := flag.Int("width", 8, "element width in bits")
+	n := flag.Int("n", 1000, "number of elements")
+	limit := flag.Int("limit", 60, "commands to print (0 = all)")
+	flag.Parse()
+	if err := run(*opName, *width, *n, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, "simdram-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(opName string, width, n, limit int) error {
+	d, err := ops.ByName(opName)
+	if err != nil {
+		return err
+	}
+	cfg := simdram.DefaultConfig()
+	sys, err := simdram.New(cfg)
+	if err != nil {
+		return err
+	}
+	log := trace.NewLog(limit)
+	log.AttachModule(sys.Module())
+
+	rng := rand.New(rand.NewSource(1))
+	widths := d.SourceWidths(width, 3)
+	srcs := make([]*simdram.Vector, len(widths))
+	for k, w := range widths {
+		mask := ^uint64(0)
+		if w < 64 {
+			mask = (uint64(1) << uint(w)) - 1
+		}
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+		}
+		if srcs[k], err = sys.AllocVector(n, w); err != nil {
+			return err
+		}
+		if err := srcs[k].Store(vals); err != nil {
+			return err
+		}
+	}
+	dst, err := sys.AllocVector(n, d.DstWidth(width))
+	if err != nil {
+		return err
+	}
+	if _, err := sys.Run(opName, dst, srcs...); err != nil {
+		return err
+	}
+
+	fmt.Printf("command trace: %s, %d-bit, %d elements (%d commands total, showing %d)\n\n",
+		opName, width, n, log.Total(), len(log.Events()))
+	if err := log.WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	hist := log.ActivationHistogram()
+	type rowCount struct {
+		row int
+		n   int64
+	}
+	var rows []rowCount
+	for r, c := range hist {
+		rows = append(rows, rowCount{r, c})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Printf("\nhottest rows (of %d stored commands):\n", len(log.Events()))
+	for i, rc := range rows {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  row %4d: %6d activations\n", rc.row, rc.n)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// simdram runs one SIMDRAM operation on random vectors inside the DRAM
+// simulator, verifies the result against the golden model, and prints
+// the command/latency/energy accounting — a quick way to poke at the
+// framework.
+//
+// Usage:
+//
+//	simdram -op addition -width 32 -n 100000
+//	simdram -op greater  -width 16 -n 1000000 -variant ambit
+//	simdram -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"simdram"
+	"simdram/internal/ops"
+)
+
+func main() {
+	opName := flag.String("op", "addition", "operation to run (see -list)")
+	width := flag.Int("width", 32, "element width in bits")
+	n := flag.Int("n", 100000, "number of elements")
+	seed := flag.Int64("seed", 42, "data seed")
+	variant := flag.String("variant", "simdram", "execution variant: simdram | ambit")
+	list := flag.Bool("list", false, "list available operations and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range simdram.Operations() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if err := run(*opName, *width, *n, *seed, *variant); err != nil {
+		fmt.Fprintln(os.Stderr, "simdram:", err)
+		os.Exit(1)
+	}
+}
+
+func run(opName string, width, n int, seed int64, variant string) error {
+	d, err := ops.ByName(opName)
+	if err != nil {
+		return err
+	}
+	cfg := simdram.DefaultConfig()
+	switch variant {
+	case "simdram":
+	case "ambit":
+		cfg.Variant = ops.VariantAmbit
+	default:
+		return fmt.Errorf("unknown variant %q", variant)
+	}
+	sys, err := simdram.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	widths := d.SourceWidths(width, 3)
+	srcs := make([]*simdram.Vector, len(widths))
+	vals := make([][]uint64, len(widths))
+	for k := range srcs {
+		mask := ^uint64(0)
+		if widths[k] < 64 {
+			mask = (uint64(1) << uint(widths[k])) - 1
+		}
+		vals[k] = make([]uint64, n)
+		for i := range vals[k] {
+			vals[k][i] = rng.Uint64() & mask
+		}
+		if srcs[k], err = sys.AllocVector(n, widths[k]); err != nil {
+			return err
+		}
+		if err := srcs[k].Store(vals[k]); err != nil {
+			return err
+		}
+	}
+	dst, err := sys.AllocVector(n, d.DstWidth(width))
+	if err != nil {
+		return err
+	}
+	st, err := sys.Run(opName, dst, srcs...)
+	if err != nil {
+		return err
+	}
+	got, err := dst.Load()
+	if err != nil {
+		return err
+	}
+	mismatches := 0
+	args := make([]uint64, len(srcs))
+	for i := 0; i < n; i++ {
+		for k := range args {
+			args[k] = vals[k][i]
+		}
+		if got[i] != d.Golden(args, width) {
+			mismatches++
+		}
+	}
+	fmt.Printf("operation      %s (%d-bit, %d elements, %s variant)\n", opName, width, n, variant)
+	fmt.Printf("lanes          %d bitlines across %d banks\n", sys.Lanes(), sys.Config().DRAM.Banks)
+	fmt.Printf("commands       %d DRAM row commands\n", st.Commands)
+	fmt.Printf("latency        %.2f µs\n", st.LatencyNs/1e3)
+	fmt.Printf("energy         %.2f µJ (%.1f pJ/element)\n", st.EnergyPJ/1e6, st.EnergyPJ/float64(n))
+	fmt.Printf("throughput     %.2f Gops/s at this geometry\n", float64(n)/st.LatencyNs)
+	if mismatches != 0 {
+		return fmt.Errorf("%d/%d elements mismatch the golden model", mismatches, n)
+	}
+	fmt.Printf("verification   all %d results match the golden model\n", n)
+	return nil
+}

@@ -1,0 +1,76 @@
+package simdram_test
+
+import (
+	"fmt"
+	"log"
+
+	"simdram"
+)
+
+// The canonical flow: allocate, store (auto-transposed to the vertical
+// layout), compute in DRAM, load back.
+func Example() {
+	cfg := simdram.DefaultConfig()
+	cfg.DRAM.Cols = 256
+	cfg.DRAM.Banks = 1
+	cfg.DRAM.SubarraysPerBank = 1
+	sys, err := simdram.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _ := sys.AllocVector(4, 16)
+	b, _ := sys.AllocVector(4, 16)
+	dst, _ := sys.AllocVector(4, 16)
+	a.Store([]uint64{10, 20, 30, 40})
+	b.Store([]uint64{1, 2, 3, 4})
+	if _, err := sys.Run("addition", dst, a, b); err != nil {
+		log.Fatal(err)
+	}
+	sum, _ := dst.Load()
+	fmt.Println(sum)
+	// Output: [11 22 33 44]
+}
+
+// Relational operations produce 1-bit predicates that feed predication
+// (if_else) — the paper's branch-free conditional execution.
+func ExampleSystem_Run_predication() {
+	cfg := simdram.DefaultConfig()
+	cfg.DRAM.Cols = 256
+	cfg.DRAM.Banks = 1
+	cfg.DRAM.SubarraysPerBank = 1
+	sys, err := simdram.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vals, _ := sys.AllocVector(4, 16)
+	limit, _ := sys.AllocVector(4, 16)
+	pred, _ := sys.AllocVector(4, 1)
+	out, _ := sys.AllocVector(4, 16)
+	vals.Store([]uint64{5, 300, 7, 900})
+	limit.Store([]uint64{255, 255, 255, 255})
+	// out = vals > 255 ? 255 : vals  (saturate)
+	sys.Run("greater", pred, vals, limit)
+	sys.Run("if_else", out, limit, vals, pred)
+	clamped, _ := out.Load()
+	fmt.Println(clamped)
+	// Output: [5 255 7 255]
+}
+
+// Views alias rows: reading a vector's bits from row k upward divides
+// every element by 2^k with zero DRAM commands (paper §2's free shift).
+func ExampleVector_View() {
+	cfg := simdram.DefaultConfig()
+	cfg.DRAM.Cols = 256
+	cfg.DRAM.Banks = 1
+	cfg.DRAM.SubarraysPerBank = 1
+	sys, err := simdram.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := sys.AllocVector(4, 16)
+	v.Store([]uint64{8, 100, 256, 1000})
+	quarter, _ := v.View(2, 14) // divide by 4
+	vals, _ := quarter.Load()
+	fmt.Println(vals)
+	// Output: [2 25 64 250]
+}

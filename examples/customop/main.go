@@ -1,0 +1,121 @@
+// customop demonstrates SIMDRAM's core flexibility claim: new in-DRAM
+// operations are circuits plus a golden model — no hardware changes.
+//
+// We define |a−b| (absolute difference) as a single fused operation and
+// compare it against composing the same function from four built-ins.
+// The measured result is a finding in itself: command counts come out
+// nearly identical, because the code generator's MajCopy fusion already
+// makes each built-in's copy-out almost free and data-row reads cost the
+// same as compute-row reads. The custom operation's win is therefore
+// programmability, not commands: one bbop instead of four, no
+// intermediate vectors (3 fewer allocations, 33 fewer rows held live),
+// and one golden model to verify against.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"simdram"
+)
+
+func main() {
+	// Define the fused operation once. Builder helpers give word-level
+	// arithmetic; the framework handles MAJ/NOT synthesis, row
+	// allocation, and μProgram generation.
+	err := simdram.DefineOperation(simdram.OperationSpec{
+		Name:  "absdiff",
+		Arity: 2,
+		Build: func(b *simdram.Builder, width int) error {
+			a := b.Operand("a", width)
+			c := b.Operand("b", width)
+			ge := b.GreaterEq(a, c)
+			b.Output(b.Select(ge, b.Sub(a, c), b.Sub(c, a)), "y")
+			return nil
+		},
+		Golden: func(args []uint64, width int) uint64 {
+			mask := uint64(1)<<uint(width) - 1
+			x, y := args[0]&mask, args[1]&mask
+			if x >= y {
+				return x - y
+			}
+			return y - x
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys, err := simdram.New(simdram.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n, w = 100_000, 16
+	rng := rand.New(rand.NewSource(5))
+	av := make([]uint64, n)
+	bv := make([]uint64, n)
+	for i := range av {
+		av[i] = rng.Uint64() & 0xFFFF
+		bv[i] = rng.Uint64() & 0xFFFF
+	}
+	a, _ := sys.AllocVector(n, w)
+	b, _ := sys.AllocVector(n, w)
+	a.Store(av)
+	b.Store(bv)
+
+	// Fused: one operation.
+	fusedDst, _ := sys.AllocVector(n, w)
+	fusedStats, err := sys.Run("absdiff", fusedDst, a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Composed: the same function from built-ins. |a-b| via two
+	// subtractions and a predicated select — every intermediate is a
+	// full vector in data rows.
+	diffAB, _ := sys.AllocVector(n, w)
+	diffBA, _ := sys.AllocVector(n, w)
+	pred, _ := sys.AllocVector(n, 1)
+	composedDst, _ := sys.AllocVector(n, w)
+	var composedStats simdram.Stats
+	for _, step := range []struct {
+		op   string
+		dst  *simdram.Vector
+		srcs []*simdram.Vector
+	}{
+		{"subtraction", diffAB, []*simdram.Vector{a, b}},
+		{"subtraction", diffBA, []*simdram.Vector{b, a}},
+		{"greater_equal", pred, []*simdram.Vector{a, b}},
+		{"if_else", composedDst, []*simdram.Vector{diffAB, diffBA, pred}},
+	} {
+		st, err := sys.Run(step.op, step.dst, step.srcs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		composedStats.Commands += st.Commands
+		composedStats.LatencyNs += st.LatencyNs
+		composedStats.EnergyPJ += st.EnergyPJ
+	}
+
+	// Verify both against each other and the golden model.
+	fv, _ := fusedDst.Load()
+	cv, _ := composedDst.Load()
+	for i := range fv {
+		want, _ := simdram.Golden("absdiff", w, av[i], bv[i])
+		if fv[i] != want || cv[i] != want {
+			log.Fatalf("element %d: fused %d composed %d want %d", i, fv[i], cv[i], want)
+		}
+	}
+
+	fmt.Printf("|a-b| over %d 16-bit elements, both paths verified\n\n", n)
+	fmt.Printf("              commands   latency      energy\n")
+	fmt.Printf("fused op      %8d  %8.1fµs  %8.2fµJ\n",
+		fusedStats.Commands, fusedStats.LatencyNs/1e3, fusedStats.EnergyPJ/1e6)
+	fmt.Printf("4 built-ins   %8d  %8.1fµs  %8.2fµJ\n",
+		composedStats.Commands, composedStats.LatencyNs/1e3, composedStats.EnergyPJ/1e6)
+	fmt.Printf("command ratio %.2f× (≈1: MajCopy fusion already makes composition cheap)\n",
+		float64(composedStats.Commands)/float64(fusedStats.Commands))
+	fmt.Println("\nthe custom op's win: 1 bbop instead of 4, and no intermediate vectors")
+	fmt.Printf("(the composed path held 3 extra vectors = %d extra DRAM rows live)\n", 2*w+1)
+}

@@ -1,0 +1,81 @@
+// Quickstart: allocate vectors, store data (transposed to the vertical
+// layout automatically), run in-DRAM operations, and load results back.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"simdram"
+)
+
+func main() {
+	// A laptop-friendly SIMDRAM system: 4 banks × 4 subarrays with 8192
+	// bitlines each — 32768 SIMD lanes computing in parallel.
+	sys, err := simdram.New(simdram.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n, width = 100_000, 32
+	rng := rand.New(rand.NewSource(1))
+	dataA := make([]uint64, n)
+	dataB := make([]uint64, n)
+	for i := range dataA {
+		dataA[i] = uint64(rng.Uint32())
+		dataB[i] = uint64(rng.Uint32())
+	}
+
+	a, err := sys.AllocVector(n, width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := sys.AllocVector(n, width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := sys.AllocVector(n, width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Store(dataA); err != nil {
+		log.Fatal(err)
+	}
+	if err := b.Store(dataB); err != nil {
+		log.Fatal(err)
+	}
+
+	// One bbop: 100k additions executed entirely inside DRAM subarrays.
+	st, err := sys.Run("addition", sum, a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("addition: %d DRAM commands, %.1f µs, %.2f µJ\n",
+		st.Commands, st.LatencyNs/1e3, st.EnergyPJ/1e6)
+
+	// A second operation chained on the in-DRAM result: max(sum, b).
+	m, err := sys.AllocVector(n, width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Run("max", m, sum, b); err != nil {
+		log.Fatal(err)
+	}
+
+	got, err := m.Load()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range got {
+		s := (dataA[i] + dataB[i]) & 0xFFFFFFFF
+		want := s
+		if dataB[i] > s {
+			want = dataB[i]
+		}
+		if got[i] != want {
+			log.Fatalf("element %d: got %d want %d", i, got[i], want)
+		}
+	}
+	fmt.Printf("verified %d elements of max(a+b, b) against the host computation\n", n)
+}

@@ -1,0 +1,147 @@
+package simdram
+
+import (
+	"simdram/internal/ctrl"
+	"simdram/internal/isa"
+	"simdram/internal/ops"
+	"simdram/internal/uprog"
+)
+
+// Run executes the named operation in DRAM: dst[i] = op(srcs[0][i],
+// srcs[1][i], …). All vectors must have the same element count, the
+// sources the same width, and dst the operation's destination width
+// (Widths reports it). Sources and destination must be segment-aligned
+// (allocate them with the same length on the same System).
+func (s *System) Run(opName string, dst *Vector, srcs ...*Vector) (Stats, error) {
+	d, err := ops.ByName(opName)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.RunOp(d, dst, srcs...)
+}
+
+// RunOp is Run with an explicit operation definition.
+func (s *System) RunOp(d ops.Def, dst *Vector, srcs ...*Vector) (Stats, error) {
+	if len(srcs) == 0 {
+		return Stats{}, errorf("%s: no sources", d.Name)
+	}
+	arity := d.EffArity(len(srcs))
+	if len(srcs) != arity {
+		return Stats{}, errorf("%s: needs %d sources, have %d", d.Name, arity, len(srcs))
+	}
+	width := srcs[0].width
+	wantWidths := d.SourceWidths(width, len(srcs))
+	for k, src := range srcs {
+		if src.freed {
+			return Stats{}, errorf("%s: source %d freed", d.Name, k)
+		}
+		if src.width != wantWidths[k] {
+			return Stats{}, errorf("%s: source %d width %d, operation expects %d", d.Name, k, src.width, wantWidths[k])
+		}
+		if src.n != dst.n {
+			return Stats{}, errorf("%s: source %d has %d elements, dst %d", d.Name, k, src.n, dst.n)
+		}
+		if !dst.aligned(src) {
+			return Stats{}, errorf("%s: source %d not segment-aligned with dst", d.Name, k)
+		}
+		if src == dst {
+			return Stats{}, errorf("%s: destination must not alias a source", d.Name)
+		}
+	}
+	if dst.freed {
+		return Stats{}, errorf("%s: destination freed", d.Name)
+	}
+	if want := d.DstWidth(width); dst.width != want {
+		return Stats{}, errorf("%s: destination width %d, operation produces %d", d.Name, dst.width, want)
+	}
+	p, err := s.cu.Program(d, width, len(srcs))
+	if err != nil {
+		return Stats{}, err
+	}
+	dataRows := s.cfg.DRAM.DataRows()
+	segs := make([]ctrl.Segment, len(dst.segs))
+	for i := range dst.segs {
+		bank, sub := dst.segs[i].bank, dst.segs[i].sub
+		if s.rows[bank][sub].tailFree() < p.NumScratch {
+			return Stats{}, errorf("%s: subarray (%d,%d) lacks %d scratch rows", d.Name, bank, sub, p.NumScratch)
+		}
+		b := uprog.Binding{
+			DstBase:     dst.segs[i].baseRow,
+			ScratchBase: dataRows - p.NumScratch,
+		}
+		for _, src := range srcs {
+			b.SrcBase = append(b.SrcBase, src.segs[i].baseRow)
+		}
+		segs[i] = ctrl.Segment{Bank: bank, Sub: sub, Binding: b}
+	}
+	st, err := s.cu.Execute(p, segs)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{LatencyNs: st.BusyNs, EnergyPJ: st.EnergyPJ, Commands: st.Commands}, nil
+}
+
+// Exec executes a decoded bbop instruction against the system's object
+// table — the ISA-level entry point a compiler would target.
+func (s *System) Exec(in isa.Instruction) (Stats, error) {
+	if err := in.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if in.Op == isa.OpTrspInit {
+		if _, ok := s.objects[in.Src[0]]; !ok {
+			return Stats{}, errorf("bbop_trsp_init: unknown object %d", in.Src[0])
+		}
+		// Transposition is configured: in this implementation Store/Load
+		// always route through the transposition unit, so trsp_init only
+		// validates the object.
+		return Stats{}, nil
+	}
+	code, err := in.Op.ToOp()
+	if err != nil {
+		return Stats{}, err
+	}
+	d, err := ops.ByCode(code)
+	if err != nil {
+		return Stats{}, err
+	}
+	dst, ok := s.objects[in.Dst]
+	if !ok {
+		return Stats{}, errorf("bbop: unknown destination object %d", in.Dst)
+	}
+	arity := d.EffArity(int(in.N))
+	if arity > 3 {
+		return Stats{}, errorf("bbop: ISA encodes at most 3 source objects, operation needs %d", arity)
+	}
+	srcs := make([]*Vector, arity)
+	for k := 0; k < arity; k++ {
+		src, ok := s.objects[in.Src[k]]
+		if !ok {
+			return Stats{}, errorf("bbop: unknown source object %d", in.Src[k])
+		}
+		srcs[k] = src
+	}
+	return s.RunOp(d, dst, srcs...)
+}
+
+// Widths returns the source and destination element widths the named
+// operation uses for a given source width.
+func Widths(opName string, width int) (src, dst int, err error) {
+	d, err := ops.ByName(opName)
+	if err != nil {
+		return 0, 0, err
+	}
+	return width, d.DstWidth(width), nil
+}
+
+// Golden computes the operation's reference result for one element —
+// exposed so applications can verify in-DRAM results.
+func Golden(opName string, width int, args ...uint64) (uint64, error) {
+	d, err := ops.ByName(opName)
+	if err != nil {
+		return 0, err
+	}
+	if got, want := len(args), d.EffArity(len(args)); got != want {
+		return 0, errorf("%s: needs %d arguments, have %d", opName, want, got)
+	}
+	return d.Golden(args, width), nil
+}

@@ -1,0 +1,72 @@
+package simdram
+
+import (
+	"math/rand"
+	"testing"
+
+	"simdram/internal/reliability"
+)
+
+// TestFaultInjectionEndToEnd connects the reliability model to the
+// functional system: TRA failure rates from the Monte Carlo model are
+// injected as bit flips into a destination row, and the application-level
+// mismatch count must reflect exactly the injected faults — the
+// verification loop an integrator would run when qualifying a device.
+func TestFaultInjectionEndToEnd(t *testing.T) {
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(71))
+	n, w := 256, 8 // one full segment on the test geometry
+	a, _ := sys.AllocVector(n, w)
+	b, _ := sys.AllocVector(n, w)
+	dst, _ := sys.AllocVector(n, w)
+	av := randVals(rng, n, w)
+	bv := randVals(rng, n, w)
+	a.Store(av)
+	b.Store(bv)
+	if _, err := sys.Run("addition", dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+
+	// Draw a fault pattern from the reliability model at heavy variation:
+	// the per-TRA failure probability at 25% cell-capacitance σ.
+	tech := reliability.Nodes()[3]
+	res := reliability.SimulateTRA(tech, reliability.Variation{CellSigma: 0.25, SASigmaMV: 5}, 20000, 3)
+	p := res.FailureRate()
+	if p <= 0 {
+		t.Fatal("expected a nonzero failure rate at extreme variation")
+	}
+
+	// Inject flips into bit 0 of the result: each lane flips with the
+	// per-operation failure probability for the addition's TRA count.
+	opFail := reliability.OperationFailureRate(p, 50)
+	words := sys.Config().DRAM.Cols / 64
+	mask := make([]uint64, words)
+	injected := 0
+	for lane := 0; lane < n; lane++ {
+		if rng.Float64() < opFail {
+			mask[lane/64] |= 1 << uint(lane%64)
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Skip("fault draw produced no flips; rate too low at this sample size")
+	}
+	// Bit 0 of the destination lives in the first row of its region; the
+	// first segment of the first-allocated vectors sits in bank 0, sub 0.
+	sa := sys.Module().Subarray(0, 0)
+	sa.InjectBitFlips(16, mask) // dst baseRow: a=rows 0-7, b=8-15, dst=16-23
+
+	got, err := dst.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatches := 0
+	for i := range got {
+		if got[i] != (av[i]+bv[i])&0xFF {
+			mismatches++
+		}
+	}
+	if mismatches != injected {
+		t.Errorf("detected %d mismatches, injected %d faults", mismatches, injected)
+	}
+}

@@ -1,0 +1,38 @@
+package area
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOverheadUnderOnePercent(t *testing.T) {
+	// 8 Gb chip with 16 banks × 64 subarrays; 8 KB of μProgram store.
+	o := Estimate(Default(), Components(16*64, 8))
+	if o.Fraction >= 0.01 {
+		t.Errorf("area overhead %.3f%% exceeds the paper's <1%% claim", o.Fraction*100)
+	}
+	if o.Fraction <= 0 {
+		t.Error("overhead must be positive")
+	}
+}
+
+func TestOverheadScalesWithSubarrays(t *testing.T) {
+	small := Estimate(Default(), Components(256, 8))
+	large := Estimate(Default(), Components(2048, 8))
+	if large.TotalMM2 <= small.TotalMM2 {
+		t.Error("more subarrays must cost more decoder area")
+	}
+}
+
+func TestComponentsPresent(t *testing.T) {
+	o := Estimate(Default(), Components(1024, 8))
+	s := o.String()
+	for _, want := range []string{"row decoder", "control unit", "transposition unit", "total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	if len(o.Items) != 3 {
+		t.Errorf("want 3 components, have %d", len(o.Items))
+	}
+}

@@ -1,0 +1,76 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"simdram/internal/ops"
+)
+
+func TestBytesPerElement(t *testing.T) {
+	add, _ := ops.ByName("addition")
+	if got := BytesPerElement(add, 32, 0); got != 12 {
+		t.Errorf("addition/32: %f bytes, want 12 (two 4 B reads + one 4 B write)", got)
+	}
+	gt, _ := ops.ByName("greater")
+	if got := BytesPerElement(gt, 32, 0); got != 9 {
+		t.Errorf("greater/32: %f bytes, want 9 (8 read + 1 predicate write)", got)
+	}
+	ar, _ := ops.ByName("and_red")
+	if got := BytesPerElement(ar, 8, 4); got != 5 {
+		t.Errorf("and_red/8 n=4: %f bytes, want 5", got)
+	}
+}
+
+func TestThroughputIsBandwidthBound(t *testing.T) {
+	c := Skylake()
+	add, _ := ops.ByName("addition")
+	got := c.Throughput(add, 32, 0)
+	want := c.MemBWGBs * 1e9 / 12
+	if got != want {
+		t.Errorf("addition/32 throughput = %e, want bandwidth bound %e", got, want)
+	}
+	// Division loses vectorization but stays bandwidth bound at this
+	// element size, so it can be at most as fast as addition.
+	div, _ := ops.ByName("division")
+	if c.Throughput(div, 32, 0) > got {
+		t.Error("division must not be faster than addition on the CPU")
+	}
+	// With 4× the bandwidth headroom, scalar division becomes the
+	// bottleneck at 8-bit elements.
+	fast := c
+	fast.MemBWGBs *= 4
+	if fast.Throughput(div, 8, 0) >= fast.Throughput(add, 8, 0) {
+		t.Error("8-bit division should go compute bound with ample bandwidth")
+	}
+}
+
+func TestEnergyPositiveAndOrdered(t *testing.T) {
+	c := Skylake()
+	add, _ := ops.ByName("addition")
+	e8 := c.EnergyPJPerOp(add, 8, 0)
+	e64 := c.EnergyPJPerOp(add, 64, 0)
+	if e8 <= 0 || e64 <= e8 {
+		t.Errorf("energy must grow with width: e8=%f e64=%f", e8, e64)
+	}
+	if c.OpsPerJoule(add, 32, 0) <= 0 {
+		t.Error("ops/J must be positive")
+	}
+}
+
+func TestRunMatchesGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	add, _ := ops.ByName("addition")
+	a := make([]uint64, 100)
+	b := make([]uint64, 100)
+	for i := range a {
+		a[i] = rng.Uint64() & 0xFFFF
+		b[i] = rng.Uint64() & 0xFFFF
+	}
+	out := Run(add, 16, [][]uint64{a, b})
+	for i := range out {
+		if out[i] != (a[i]+b[i])&0xFFFF {
+			t.Fatalf("lane %d wrong", i)
+		}
+	}
+}

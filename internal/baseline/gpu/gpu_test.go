@@ -1,0 +1,34 @@
+package gpu
+
+import (
+	"testing"
+
+	"simdram/internal/baseline/cpu"
+	"simdram/internal/ops"
+)
+
+func TestGPUFasterThanCPUOnStreaming(t *testing.T) {
+	g := TitanV()
+	c := cpu.Skylake()
+	for _, name := range []string{"addition", "greater", "xor_red", "multiplication"} {
+		d, err := ops.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Throughput(d, 32, 3) <= c.Throughput(d, 32, 3) {
+			t.Errorf("%s: GPU should out-throughput CPU on streaming ops", name)
+		}
+	}
+}
+
+func TestGPUEnergyBetterThanCPU(t *testing.T) {
+	g := TitanV()
+	c := cpu.Skylake()
+	add, _ := ops.ByName("addition")
+	if g.EnergyPJPerOp(add, 32, 0) >= c.EnergyPJPerOp(add, 32, 0) {
+		t.Error("HBM GPU should be more energy efficient per op than the CPU")
+	}
+	if g.OpsPerJoule(add, 32, 0) <= 0 {
+		t.Error("ops/J must be positive")
+	}
+}

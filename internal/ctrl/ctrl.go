@@ -1,0 +1,172 @@
+// Package ctrl implements the SIMDRAM control unit (paper Step 3): the
+// memory-controller logic that receives bbop instructions, looks up the
+// operation's μProgram, binds symbolic rows to physical rows in every
+// target subarray, and sequences the DRAM commands.
+//
+// Timing model: subarrays in different banks execute commands in lockstep
+// (bank-level parallelism); subarrays within one bank share the bank's
+// row-command bandwidth and serialize. Energy is fully additive and comes
+// from the DRAM model's per-command accounting.
+package ctrl
+
+import (
+	"fmt"
+	"sync"
+
+	"simdram/internal/dram"
+	"simdram/internal/ops"
+	"simdram/internal/uprog"
+)
+
+// Unit is a SIMDRAM control unit attached to one DRAM module.
+type Unit struct {
+	mod     *dram.Module
+	variant ops.Variant
+
+	Stats ExecStats
+}
+
+// ExecStats accumulates control-unit activity.
+type ExecStats struct {
+	Instructions int64
+	Commands     int64
+	BusyNs       float64 // wall-clock time the unit kept banks busy
+	EnergyPJ     float64
+}
+
+// Add accumulates other into s.
+func (s *ExecStats) Add(other ExecStats) {
+	s.Instructions += other.Instructions
+	s.Commands += other.Commands
+	s.BusyNs += other.BusyNs
+	s.EnergyPJ += other.EnergyPJ
+}
+
+// New builds a control unit for the module using the given synthesis
+// variant (VariantSIMDRAM for the paper's flow, VariantAmbit for the
+// in-DRAM baseline).
+func New(mod *dram.Module, variant ops.Variant) *Unit {
+	return &Unit{mod: mod, variant: variant}
+}
+
+// Module returns the attached DRAM module.
+func (u *Unit) Module() *dram.Module { return u.mod }
+
+// Variant returns the synthesis variant this unit executes.
+func (u *Unit) Variant() ops.Variant { return u.variant }
+
+// Program returns the (cached) μProgram for an operation at the given
+// width and operand count.
+func (u *Unit) Program(d ops.Def, width, n int) (*uprog.Program, error) {
+	s, err := ops.SynthesizeCached(d, width, n, u.variant)
+	if err != nil {
+		return nil, err
+	}
+	return s.Program, nil
+}
+
+// Segment names one subarray's worth of work: which subarray, and how the
+// program's symbolic spaces bind to its rows.
+type Segment struct {
+	Bank, Sub int
+	Binding   uprog.Binding
+}
+
+// Execute runs the μProgram on every segment, functionally and with full
+// command accounting. In the modeled hardware, segments in distinct
+// banks proceed in parallel and segments within one bank serialize; in
+// the simulator, distinct subarrays are independent state, so their
+// functional execution runs on separate goroutines (serialized only when
+// two segments share a subarray).
+func (u *Unit) Execute(p *uprog.Program, segs []Segment) (ExecStats, error) {
+	if len(segs) == 0 {
+		return ExecStats{}, fmt.Errorf("ctrl: no segments to execute")
+	}
+	before := u.mod.Stats()
+	perBank := map[int]int{}
+	bySub := map[[2]int][]Segment{}
+	for _, seg := range segs {
+		if seg.Bank < 0 || seg.Bank >= u.mod.NumBanks() || seg.Sub < 0 || seg.Sub >= u.mod.SubarraysPerBank() {
+			return ExecStats{}, fmt.Errorf("ctrl: segment (%d,%d) out of range", seg.Bank, seg.Sub)
+		}
+		bySub[[2]int{seg.Bank, seg.Sub}] = append(bySub[[2]int{seg.Bank, seg.Sub}], seg)
+		perBank[seg.Bank]++
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(bySub))
+	for _, group := range bySub {
+		wg.Add(1)
+		go func(group []Segment) {
+			defer wg.Done()
+			for _, seg := range group {
+				sa := u.mod.Subarray(seg.Bank, seg.Sub)
+				if err := uprog.Run(p, sa, seg.Binding); err != nil {
+					errs <- fmt.Errorf("ctrl: bank %d subarray %d: %w", seg.Bank, seg.Sub, err)
+					return
+				}
+			}
+		}(group)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return ExecStats{}, err
+	}
+	maxPerBank := 0
+	for _, n := range perBank {
+		if n > maxPerBank {
+			maxPerBank = n
+		}
+	}
+	delta := u.mod.Stats().Sub(before)
+	st := ExecStats{
+		Instructions: 1,
+		Commands:     int64(len(p.Ops)) * int64(len(segs)),
+		BusyNs:       p.LatencyNs(u.mod.Config().Timing) * float64(maxPerBank),
+		EnergyPJ:     delta.EnergyPJ,
+	}
+	u.Stats.Add(st)
+	return st, nil
+}
+
+// PerfModel computes paper-scale performance numbers for a μProgram
+// analytically, without materializing DRAM arrays. It is the scaling path
+// used by the benchmark harness: the same latency/energy constants govern
+// both this model and functional execution, so small functional runs
+// validate the model's inputs.
+type PerfModel struct {
+	Cfg   dram.Config
+	Banks int // banks used in parallel (the paper sweeps 1, 4, 16)
+}
+
+// Throughput returns operations per second for bulk execution of p: all
+// banks compute on full rows concurrently, one element per bitline, with
+// the mandatory-refresh tax applied (sustained rate).
+func (m PerfModel) Throughput(p *uprog.Program) float64 {
+	lanes := float64(m.Cfg.Cols) * float64(m.Banks)
+	return lanes / (p.LatencyNs(m.Cfg.Timing) * m.Cfg.Timing.RefreshFactor() * 1e-9)
+}
+
+// LatencyNs returns the sustained time to process n elements: subarray
+// batches of Cols lanes, spread across banks, serialized within each
+// bank, stretched by the refresh tax.
+func (m PerfModel) LatencyNs(p *uprog.Program, n int) float64 {
+	segments := (n + m.Cfg.Cols - 1) / m.Cfg.Cols
+	rounds := (segments + m.Banks - 1) / m.Banks
+	return p.LatencyNs(m.Cfg.Timing) * float64(rounds) * m.Cfg.Timing.RefreshFactor()
+}
+
+// EnergyPJ returns the energy to process n elements. Partially filled
+// subarrays still activate full rows (the paper's accounting does the
+// same: activation energy is per-row, not per-lane).
+func (m PerfModel) EnergyPJ(p *uprog.Program, n int) float64 {
+	segments := (n + m.Cfg.Cols - 1) / m.Cfg.Cols
+	return p.EnergyPJ(m.Cfg.Energy) * float64(segments)
+}
+
+// ThroughputPerWatt returns operations per joule — the energy-efficiency
+// metric the paper reports.
+func (m PerfModel) OpsPerJoule(p *uprog.Program) float64 {
+	perLane := p.EnergyPJ(m.Cfg.Energy) / float64(m.Cfg.Cols) // pJ per element
+	return 1e12 / perLane
+}

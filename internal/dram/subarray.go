@@ -1,0 +1,308 @@
+package dram
+
+import "fmt"
+
+// Subarray is one DRAM subarray: a grid of rows × bitlines with sense
+// amplifiers, a compute region of designated rows, and bit-exact command
+// semantics. Each bitline is one SIMD lane.
+//
+// Row address map (data rows first, compute region at the top):
+//
+//	0 .. DataRows-1          operand and scratch rows
+//	DataRows + i             T rows (triple-row-activatable), i < NumTRows
+//	.. then                  DCC0, DCC0N, DCC1, DCC1N, ...
+//	.. then                  C0 (all zeros), C1 (all ones)
+type Subarray struct {
+	cfg  *Config
+	rows [][]uint64
+
+	// open tracks the activated row for the timing state machine; -1 when
+	// the subarray is precharged.
+	open int
+
+	Stats Stats
+
+	// OnCommand, when set, observes every DRAM command the subarray
+	// executes (command tracing, RowHammer monitoring, debuggers).
+	OnCommand func(Command)
+}
+
+// CommandKind labels a traced DRAM command.
+type CommandKind uint8
+
+// Traced command kinds.
+const (
+	CmdAAP CommandKind = iota
+	CmdAP
+	CmdMajCopy
+	CmdHostRead
+	CmdHostWrite
+)
+
+func (k CommandKind) String() string {
+	switch k {
+	case CmdAAP:
+		return "AAP"
+	case CmdAP:
+		return "AP"
+	case CmdMajCopy:
+		return "MAJCOPY"
+	case CmdHostRead:
+		return "RD"
+	case CmdHostWrite:
+		return "WR"
+	default:
+		return fmt.Sprintf("CMD(%d)", uint8(k))
+	}
+}
+
+// Command is one traced DRAM command with physical row addresses.
+type Command struct {
+	Kind CommandKind
+	Src  int    // AAP source / host row; -1 otherwise
+	T    [3]int // AP/MajCopy TRA rows
+	Dsts [3]int // AAP/MajCopy destinations
+	NDst int
+}
+
+func (s *Subarray) trace(c Command) {
+	if s.OnCommand != nil {
+		s.OnCommand(c)
+	}
+}
+
+// NewSubarray allocates a subarray per cfg, with control rows initialized.
+func NewSubarray(cfg *Config) *Subarray {
+	words := cfg.WordsPerRow()
+	rows := make([][]uint64, cfg.RowsPerSubarray)
+	backing := make([]uint64, cfg.RowsPerSubarray*words)
+	for i := range rows {
+		rows[i] = backing[i*words : (i+1)*words : (i+1)*words]
+	}
+	s := &Subarray{cfg: cfg, rows: rows, open: -1}
+	for i := range s.rows[s.C1Row()] {
+		s.rows[s.C1Row()][i] = ^uint64(0)
+	}
+	return s
+}
+
+// TRow returns the physical row index of designated compute row T[i].
+func (s *Subarray) TRow(i int) int {
+	if i < 0 || i >= s.cfg.NumTRows {
+		panic(fmt.Sprintf("dram: T row %d out of range [0,%d)", i, s.cfg.NumTRows))
+	}
+	return s.cfg.DataRows() + i
+}
+
+// DCCRow returns the physical row of dual-contact cell pair i's true row.
+// Writing this row also makes the complement readable via DCCNRow(i).
+func (s *Subarray) DCCRow(i int) int {
+	if i < 0 || i >= s.cfg.NumDCCPairs {
+		panic(fmt.Sprintf("dram: DCC pair %d out of range [0,%d)", i, s.cfg.NumDCCPairs))
+	}
+	return s.cfg.DataRows() + s.cfg.NumTRows + 2*i
+}
+
+// DCCNRow returns the complement row of dual-contact cell pair i.
+func (s *Subarray) DCCNRow(i int) int { return s.DCCRow(i) + 1 }
+
+// C0Row returns the all-zeros control row.
+func (s *Subarray) C0Row() int { return s.cfg.RowsPerSubarray - 2 }
+
+// C1Row returns the all-ones control row.
+func (s *Subarray) C1Row() int { return s.cfg.RowsPerSubarray - 1 }
+
+// isDCC reports whether row belongs to a DCC pair, returning the pair
+// index and whether it is the complement row.
+func (s *Subarray) isDCC(row int) (pair int, isN bool, ok bool) {
+	base := s.cfg.DataRows() + s.cfg.NumTRows
+	if row < base || row >= base+2*s.cfg.NumDCCPairs {
+		return 0, false, false
+	}
+	off := row - base
+	return off / 2, off%2 == 1, true
+}
+
+func (s *Subarray) checkRow(row int) {
+	if row < 0 || row >= s.cfg.RowsPerSubarray {
+		panic(fmt.Sprintf("dram: row %d out of range [0,%d)", row, s.cfg.RowsPerSubarray))
+	}
+}
+
+// ReadRow returns a copy of the row contents via a normal host access.
+func (s *Subarray) ReadRow(row int) []uint64 {
+	s.checkRow(row)
+	s.Stats.HostReads++
+	s.Stats.EnergyPJ += s.cfg.Energy.RdPJ
+	s.trace(Command{Kind: CmdHostRead, Src: row})
+	out := make([]uint64, len(s.rows[row]))
+	copy(out, s.rows[row])
+	return out
+}
+
+// WriteRow overwrites the row contents via a normal host access. Writing
+// a DCC row updates its complement row (dual-contact cells expose both
+// the true and negated bitline of the same cells).
+func (s *Subarray) WriteRow(row int, data []uint64) {
+	s.checkRow(row)
+	if len(data) != s.cfg.WordsPerRow() {
+		panic(fmt.Sprintf("dram: WriteRow: want %d words, have %d", s.cfg.WordsPerRow(), len(data)))
+	}
+	s.Stats.HostWrites++
+	s.Stats.EnergyPJ += s.cfg.Energy.WrPJ
+	s.trace(Command{Kind: CmdHostWrite, Src: row})
+	s.storeRow(row, data)
+}
+
+// Peek returns the row contents without modeling a command (test/debug).
+func (s *Subarray) Peek(row int) []uint64 {
+	s.checkRow(row)
+	out := make([]uint64, len(s.rows[row]))
+	copy(out, s.rows[row])
+	return out
+}
+
+// Poke sets row contents without modeling a command (test/debug). DCC
+// pairing is still honored.
+func (s *Subarray) Poke(row int, data []uint64) {
+	s.checkRow(row)
+	s.storeRow(row, data)
+}
+
+// storeRow writes data into row, mirroring complements into DCC pairs.
+func (s *Subarray) storeRow(row int, data []uint64) {
+	if row == s.C0Row() || row == s.C1Row() {
+		panic("dram: control rows are read-only")
+	}
+	copy(s.rows[row], data)
+	if pair, isN, ok := s.isDCC(row); ok {
+		var other int
+		if isN {
+			other = s.DCCRow(pair)
+		} else {
+			other = s.DCCNRow(pair)
+		}
+		for i, w := range data {
+			s.rows[other][i] = ^w
+		}
+	}
+}
+
+// AAP executes ACTIVATE(src) → ACTIVATE(dst group) → PRECHARGE, copying
+// the source row into every destination row. Destinations must either be
+// a single row anywhere or a group of 2-3 rows inside the compute region
+// (the special row decoder only supports multi-activation there).
+func (s *Subarray) AAP(src int, dsts ...int) {
+	s.checkRow(src)
+	if len(dsts) == 0 || len(dsts) > 3 {
+		panic(fmt.Sprintf("dram: AAP needs 1-3 destination rows, have %d", len(dsts)))
+	}
+	if len(dsts) > 1 {
+		for _, d := range dsts {
+			if d < s.cfg.DataRows() {
+				panic(fmt.Sprintf("dram: multi-row AAP destination %d outside the compute region", d))
+			}
+		}
+	}
+	// First activation latches src into the sense amplifiers; the second
+	// activation connects the destination cells, overwriting them with the
+	// latched value.
+	buf := s.rows[src]
+	tmp := make([]uint64, len(buf))
+	copy(tmp, buf)
+	for _, d := range dsts {
+		s.checkRow(d)
+		s.storeRow(d, tmp)
+	}
+	s.open = -1
+	s.Stats.AAPs++
+	s.Stats.Activates += 2
+	s.Stats.Precharges++
+	s.Stats.EnergyPJ += s.cfg.Energy.AAPEnergy(len(dsts))
+	if s.OnCommand != nil {
+		c := Command{Kind: CmdAAP, Src: src, NDst: len(dsts)}
+		copy(c.Dsts[:], dsts)
+		s.trace(c)
+	}
+}
+
+// AP executes a triple-row activation followed by precharge: the three
+// rows charge-share on the bitlines, the sense amplifiers resolve the
+// bitwise majority, and the restored value is written back into all three
+// rows. All rows must be T rows of the compute region.
+func (s *Subarray) AP(r0, r1, r2 int) {
+	for _, r := range [3]int{r0, r1, r2} {
+		if r < s.cfg.DataRows() || r >= s.cfg.DataRows()+s.cfg.NumTRows {
+			panic(fmt.Sprintf("dram: AP row %d is not a T row", r))
+		}
+	}
+	if r0 == r1 || r0 == r2 || r1 == r2 {
+		panic("dram: AP rows must be distinct")
+	}
+	a, b, c := s.rows[r0], s.rows[r1], s.rows[r2]
+	for i := range a {
+		m := (a[i] & b[i]) | (a[i] & c[i]) | (b[i] & c[i])
+		a[i], b[i], c[i] = m, m, m
+	}
+	s.open = -1
+	s.Stats.APs++
+	s.Stats.Activates++
+	s.Stats.Precharges++
+	s.Stats.EnergyPJ += s.cfg.Energy.APEnergy()
+	s.trace(Command{Kind: CmdAP, Src: -1, T: [3]int{r0, r1, r2}})
+}
+
+// MajCopy executes Ambit's fused compute-and-copy: ACTIVATE the TRA
+// group (sense amplifiers resolve the majority, restored into the three
+// T rows), then ACTIVATE the destination rows (overwriting them with the
+// row-buffer value), then PRECHARGE. This is the 4th AAP of Ambit's
+// canonical AND/OR sequence (AAP src1; AAP src2; AAP control; AAP
+// TRA→dst). Latency matches an AAP.
+func (s *Subarray) MajCopy(r0, r1, r2 int, dsts ...int) {
+	for _, r := range [3]int{r0, r1, r2} {
+		if r < s.cfg.DataRows() || r >= s.cfg.DataRows()+s.cfg.NumTRows {
+			panic(fmt.Sprintf("dram: MajCopy row %d is not a T row", r))
+		}
+	}
+	if r0 == r1 || r0 == r2 || r1 == r2 {
+		panic("dram: MajCopy rows must be distinct")
+	}
+	if len(dsts) == 0 || len(dsts) > 3 {
+		panic(fmt.Sprintf("dram: MajCopy needs 1-3 destination rows, have %d", len(dsts)))
+	}
+	a, b, c := s.rows[r0], s.rows[r1], s.rows[r2]
+	maj := make([]uint64, len(a))
+	for i := range a {
+		m := (a[i] & b[i]) | (a[i] & c[i]) | (b[i] & c[i])
+		a[i], b[i], c[i] = m, m, m
+		maj[i] = m
+	}
+	for _, d := range dsts {
+		s.checkRow(d)
+		s.storeRow(d, maj)
+	}
+	s.open = -1
+	s.Stats.MajCopies++
+	s.Stats.Activates += 2
+	s.Stats.Precharges++
+	s.Stats.EnergyPJ += s.cfg.Energy.MajCopyEnergy()
+	if s.OnCommand != nil {
+		c := Command{Kind: CmdMajCopy, Src: -1, T: [3]int{r0, r1, r2}, NDst: len(dsts)}
+		copy(c.Dsts[:], dsts)
+		s.trace(c)
+	}
+}
+
+// InjectBitFlips XORs mask into the given row without any accounting —
+// the fault-injection hook used by reliability tests.
+func (s *Subarray) InjectBitFlips(row int, mask []uint64) {
+	s.checkRow(row)
+	for i := range mask {
+		if i < len(s.rows[row]) {
+			s.rows[row][i] ^= mask[i]
+		}
+	}
+}
+
+// Config returns the subarray's configuration.
+func (s *Subarray) Config() *Config { return s.cfg }

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestE9AblationGains(t *testing.T) {
+	tab, err := E9Ablation(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 16 {
+		t.Fatalf("expected 16 rows, have %d", len(tab.Rows))
+	}
+	step1Gains, step2Gains := 0, 0
+	for _, row := range tab.Rows {
+		step1 := parseRatio(t, row[5])
+		step2 := parseRatio(t, row[6])
+		if step1 < 0.99 || step2 < 0.99 {
+			t.Errorf("%s: disabling an optimization must not speed things up (step1 %.2f, step2 %.2f)",
+				row[0], step1, step2)
+		}
+		if step1 > 1.05 {
+			step1Gains++
+		}
+		if step2 > 1.05 {
+			step2Gains++
+		}
+	}
+	// MAJ-native synthesis should pay off on most ops; row reuse on many.
+	if step1Gains < 8 {
+		t.Errorf("Step-1 MAJ synthesis helped only %d/16 ops", step1Gains)
+	}
+	if step2Gains < 4 {
+		t.Errorf("Step-2 row reuse helped only %d/16 ops", step2Gains)
+	}
+}
+
+func TestE9GroupsSecondGroupHelps(t *testing.T) {
+	tab, err := E9Groups(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	helped := 0
+	for _, row := range tab.Rows {
+		gain := parseRatio(t, row[3])
+		if gain < 0.99 {
+			t.Errorf("%s: one group faster than two (%.2f×)?", row[0], gain)
+		}
+		if gain > 1.02 {
+			helped++
+		}
+	}
+	if helped < 4 {
+		t.Errorf("the second TRA group should help several operations; helped %d", helped)
+	}
+}
+
+func TestE10RowHammerShape(t *testing.T) {
+	tab, err := E10RowHammer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 16 {
+		t.Fatalf("expected 16 rows, have %d", len(tab.Rows))
+	}
+	exceeded := 0
+	for _, row := range tab.Rows {
+		if !strings.HasPrefix(row[1], "T") && !strings.HasPrefix(row[1], "dcc") {
+			t.Errorf("%s: hottest row %q should be in the compute region", row[0], row[1])
+		}
+		acts, err := strconv.Atoi(row[2])
+		if err != nil || acts <= 0 {
+			t.Errorf("%s: bad acts/exec %q", row[0], row[2])
+		}
+		if row[4] == "yes" {
+			exceeded++
+		}
+	}
+	if exceeded == 0 {
+		t.Error("back-to-back execution should exceed the DDR4 threshold for at least one op")
+	}
+}

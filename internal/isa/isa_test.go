@@ -1,0 +1,98 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"simdram/internal/ops"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	err := quick.Check(func(dst, s0, s1, s2 uint16, size uint32, widthRaw, nRaw uint8) bool {
+		width := 1 + widthRaw%64
+		if size == 0 {
+			size = 1
+		}
+		in := Instruction{
+			Op:    FromOp(ops.OpAdd),
+			Dst:   dst,
+			Src:   [3]uint16{s0, s1, s2},
+			Size:  size,
+			Width: width,
+			N:     nRaw,
+		}
+		out, err := Decode(in.Encode())
+		return err == nil && out == in
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpcodeMapping(t *testing.T) {
+	for _, d := range ops.Catalog() {
+		oc := FromOp(d.Code)
+		if !oc.IsOperation() {
+			t.Errorf("%s: opcode %d not recognized as operation", d.Name, oc)
+		}
+		back, err := oc.ToOp()
+		if err != nil || back != d.Code {
+			t.Errorf("%s: opcode round trip failed: %v", d.Name, err)
+		}
+	}
+	if OpTrspInit.IsOperation() {
+		t.Error("trsp_init must not be an operation opcode")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := Instruction{Op: FromOp(ops.OpAdd), Size: 10, Width: 32}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good instruction rejected: %v", err)
+	}
+	bad := good
+	bad.Width = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("width 0 must be rejected")
+	}
+	bad = good
+	bad.Width = 65
+	if err := bad.Validate(); err == nil {
+		t.Error("width 65 must be rejected")
+	}
+	bad = good
+	bad.Size = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("size 0 must be rejected")
+	}
+	bad = good
+	bad.Op = OpInvalid
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid opcode must be rejected")
+	}
+	bad = good
+	bad.Op = OpBase + Opcode(200)
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-catalog opcode must be rejected")
+	}
+	if _, err := Decode(bad.Encode()); err == nil {
+		t.Error("Decode must validate")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	in := Instruction{Op: FromOp(ops.OpAdd), Dst: 3, Src: [3]uint16{1, 2, 0}, Size: 100, Width: 32}
+	s := in.String()
+	if !strings.Contains(s, "bbop_addition") || !strings.Contains(s, "obj3") {
+		t.Errorf("unexpected rendering: %q", s)
+	}
+	tr := Instruction{Op: OpTrspInit, Src: [3]uint16{7, 0, 0}, Size: 50, Width: 8}
+	if !strings.Contains(tr.String(), "bbop_trsp_init") {
+		t.Errorf("unexpected rendering: %q", tr.String())
+	}
+	ie := Instruction{Op: FromOp(ops.OpIfElse), Dst: 1, Src: [3]uint16{2, 3, 4}, Size: 10, Width: 8}
+	if !strings.Contains(ie.String(), "obj4") {
+		t.Errorf("ternary op should list three sources: %q", ie.String())
+	}
+}

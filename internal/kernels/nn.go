@@ -1,0 +1,366 @@
+package kernels
+
+import (
+	"fmt"
+
+	"simdram"
+)
+
+// Quantized neural-network building blocks for the paper's ML kernels
+// (LeNet, VGG-13, VGG-16). Activations are 8-bit unsigned, weights small
+// signed integers, accumulation 32-bit — the standard integer-inference
+// regime. Output pixels are SIMD lanes: each multiply-accumulate step is
+// one bulk in-DRAM multiplication plus one addition/subtraction across
+// every output position at once. Host code performs only data gathering
+// (im2col-style shifts) and requantization, as in the paper's mapping.
+
+// FeatureMap is a C×H×W activation tensor, one flattened channel per
+// slice entry, values 0-255.
+type FeatureMap struct {
+	C, H, W int
+	Data    [][]uint64
+}
+
+// NewFeatureMap allocates a zero feature map.
+func NewFeatureMap(c, h, w int) FeatureMap {
+	d := make([][]uint64, c)
+	for i := range d {
+		d[i] = make([]uint64, h*w)
+	}
+	return FeatureMap{C: c, H: h, W: w, Data: d}
+}
+
+// ConvWeights holds signed weights [outC][inC][kH*kW].
+type ConvWeights struct {
+	OutC, InC, K int
+	W            [][][]int
+}
+
+// Requantize maps a signed 32-bit accumulator (already ReLU'd, so
+// non-negative) back to 8 bits with a right shift and clamp.
+func Requantize(v uint64, shift uint) uint64 {
+	v >>= shift
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// gatherShifted builds the im2col vector: input channel ic sampled at
+// kernel offset (ky,kx) for every valid output position.
+func gatherShifted(in FeatureMap, ic, ky, kx, outH, outW int) []uint64 {
+	out := make([]uint64, outH*outW)
+	for y := 0; y < outH; y++ {
+		for x := 0; x < outW; x++ {
+			out[y*outW+x] = in.Data[ic][(y+ky)*in.W+(x+kx)]
+		}
+	}
+	return out
+}
+
+// ConvReLURef is the pure-Go reference for ConvReLUSIMDRAM.
+func ConvReLURef(in FeatureMap, w ConvWeights, shift uint) FeatureMap {
+	outH, outW := in.H-w.K+1, in.W-w.K+1
+	out := NewFeatureMap(w.OutC, outH, outW)
+	for oc := 0; oc < w.OutC; oc++ {
+		for y := 0; y < outH; y++ {
+			for x := 0; x < outW; x++ {
+				var acc int64
+				for ic := 0; ic < w.InC; ic++ {
+					for ky := 0; ky < w.K; ky++ {
+						for kx := 0; kx < w.K; kx++ {
+							acc += int64(in.Data[ic][(y+ky)*in.W+(x+kx)]) * int64(w.W[oc][ic][ky*w.K+kx])
+						}
+					}
+				}
+				if acc < 0 {
+					acc = 0
+				}
+				out.Data[oc][y*outW+x] = Requantize(uint64(acc), shift)
+			}
+		}
+	}
+	return out
+}
+
+// ConvReLUSIMDRAM runs a valid-padding convolution + ReLU + requantize
+// with all multiply-accumulates in DRAM.
+func ConvReLUSIMDRAM(sys *simdram.System, in FeatureMap, w ConvWeights, shift uint) (FeatureMap, simdram.Stats, error) {
+	if in.C != w.InC {
+		return FeatureMap{}, simdram.Stats{}, fmt.Errorf("kernels: conv expects %d input channels, have %d", w.InC, in.C)
+	}
+	outH, outW := in.H-w.K+1, in.W-w.K+1
+	n := outH * outW
+	e := NewEngine(sys, n)
+	out := NewFeatureMap(w.OutC, outH, outW)
+	for oc := 0; oc < w.OutC; oc++ {
+		acc, err := e.Const(0, 32)
+		if err != nil {
+			return FeatureMap{}, e.Stats, err
+		}
+		for ic := 0; ic < w.InC; ic++ {
+			for ky := 0; ky < w.K; ky++ {
+				for kx := 0; kx < w.K; kx++ {
+					wt := w.W[oc][ic][ky*w.K+kx]
+					if wt == 0 {
+						continue
+					}
+					shifted, err := e.FromData(gatherShifted(in, ic, ky, kx, outH, outW), 16)
+					if err != nil {
+						return FeatureMap{}, e.Stats, err
+					}
+					mag := wt
+					opName := "addition"
+					if mag < 0 {
+						mag = -mag
+						opName = "subtraction"
+					}
+					wv, err := e.Const(uint64(mag), 16)
+					if err != nil {
+						return FeatureMap{}, e.Stats, err
+					}
+					prod, err := e.Op("multiplication", shifted, wv)
+					FreeAll(shifted, wv)
+					if err != nil {
+						return FeatureMap{}, e.Stats, err
+					}
+					next, err := e.Op(opName, acc, prod)
+					prod.Free()
+					if err != nil {
+						return FeatureMap{}, e.Stats, err
+					}
+					Replace(&acc, next)
+				}
+			}
+		}
+		rel, err := e.Op("relu", acc)
+		acc.Free()
+		if err != nil {
+			return FeatureMap{}, e.Stats, err
+		}
+		vals, err := rel.Load()
+		rel.Free()
+		if err != nil {
+			return FeatureMap{}, e.Stats, err
+		}
+		for i, v := range vals {
+			out.Data[oc][i] = Requantize(v, shift)
+		}
+	}
+	return out, e.Stats, nil
+}
+
+// MaxPool2Ref is the pure-Go 2×2 max-pool reference.
+func MaxPool2Ref(in FeatureMap) FeatureMap {
+	outH, outW := in.H/2, in.W/2
+	out := NewFeatureMap(in.C, outH, outW)
+	for c := 0; c < in.C; c++ {
+		for y := 0; y < outH; y++ {
+			for x := 0; x < outW; x++ {
+				m := uint64(0)
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						if v := in.Data[c][(2*y+dy)*in.W+(2*x+dx)]; v > m {
+							m = v
+						}
+					}
+				}
+				out.Data[c][y*outW+x] = m
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2SIMDRAM pools with three in-DRAM max operations over the four
+// gathered corner vectors.
+func MaxPool2SIMDRAM(sys *simdram.System, in FeatureMap) (FeatureMap, simdram.Stats, error) {
+	outH, outW := in.H/2, in.W/2
+	n := outH * outW
+	e := NewEngine(sys, n)
+	out := NewFeatureMap(in.C, outH, outW)
+	gather := func(c, dy, dx int) []uint64 {
+		v := make([]uint64, n)
+		for y := 0; y < outH; y++ {
+			for x := 0; x < outW; x++ {
+				v[y*outW+x] = in.Data[c][(2*y+dy)*in.W+(2*x+dx)]
+			}
+		}
+		return v
+	}
+	for c := 0; c < in.C; c++ {
+		var corners [4]*simdram.Vector
+		var err error
+		for i := 0; i < 4; i++ {
+			corners[i], err = e.FromData(gather(c, i/2, i%2), 8)
+			if err != nil {
+				return FeatureMap{}, e.Stats, err
+			}
+		}
+		m01, err := e.Op("max", corners[0], corners[1])
+		if err != nil {
+			return FeatureMap{}, e.Stats, err
+		}
+		m23, err := e.Op("max", corners[2], corners[3])
+		if err != nil {
+			return FeatureMap{}, e.Stats, err
+		}
+		m, err := e.Op("max", m01, m23)
+		if err != nil {
+			return FeatureMap{}, e.Stats, err
+		}
+		vals, err := m.Load()
+		if err != nil {
+			return FeatureMap{}, e.Stats, err
+		}
+		copy(out.Data[c], vals)
+		FreeAll(corners[0], corners[1], corners[2], corners[3], m01, m23, m)
+	}
+	return out, e.Stats, nil
+}
+
+// FCRef is the pure-Go reference for FCSIMDRAM: logits = W·x (signed).
+func FCRef(x []uint64, w [][]int) []int64 {
+	out := make([]int64, len(w))
+	for o := range w {
+		var acc int64
+		for i, xi := range x {
+			acc += int64(xi) * int64(w[o][i])
+		}
+		out[o] = acc
+	}
+	return out
+}
+
+// FCSIMDRAM computes a fully connected layer with output neurons as SIMD
+// lanes. Per-lane signed weights use offset encoding: the stored weight
+// is w+128 (unsigned), and the bias 128·x is subtracted afterwards, so an
+// unsigned in-DRAM multiplier handles signed weights exactly.
+func FCSIMDRAM(sys *simdram.System, x []uint64, w [][]int) ([]int64, simdram.Stats, error) {
+	outN := len(w)
+	e := NewEngine(sys, outN)
+	fail := func(err error) ([]int64, simdram.Stats, error) { return nil, e.Stats, err }
+	acc, err := e.Const(0, 32)
+	if err != nil {
+		return fail(err)
+	}
+	wCol := make([]uint64, outN)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		for o := 0; o < outN; o++ {
+			wCol[o] = uint64(w[o][i] + 128)
+		}
+		wv, err := e.FromData(wCol, 16)
+		if err != nil {
+			return fail(err)
+		}
+		xv, err := e.Const(xi, 16)
+		if err != nil {
+			return fail(err)
+		}
+		prod, err := e.Op("multiplication", xv, wv)
+		FreeAll(wv, xv)
+		if err != nil {
+			return fail(err)
+		}
+		next, err := e.Op("addition", acc, prod)
+		prod.Free()
+		if err != nil {
+			return fail(err)
+		}
+		Replace(&acc, next)
+		corr, err := e.Const(xi*128, 32)
+		if err != nil {
+			return fail(err)
+		}
+		next, err = e.Op("subtraction", acc, corr)
+		corr.Free()
+		if err != nil {
+			return fail(err)
+		}
+		Replace(&acc, next)
+	}
+	defer acc.Free()
+	vals, err := acc.Load()
+	if err != nil {
+		return fail(err)
+	}
+	out := make([]int64, outN)
+	for i, v := range vals {
+		out[i] = int64(int32(uint32(v)))
+	}
+	return out, e.Stats, nil
+}
+
+// LeNetWeights bundles the weights of the miniature LeNet used by the
+// functional test (full-scale LeNet performance comes from spec.go).
+type LeNetWeights struct {
+	Conv1, Conv2 ConvWeights
+	FC           [][]int
+	Shift        uint
+}
+
+// LeNetRef runs the reference network: conv-relu, pool, conv-relu, pool,
+// flatten, FC; returns the logits.
+func LeNetRef(in FeatureMap, w LeNetWeights) []int64 {
+	c1 := ConvReLURef(in, w.Conv1, w.Shift)
+	p1 := MaxPool2Ref(c1)
+	c2 := ConvReLURef(p1, w.Conv2, w.Shift)
+	p2 := MaxPool2Ref(c2)
+	return FCRef(flatten(p2), w.FC)
+}
+
+// LeNetSIMDRAM runs the same network with every layer's arithmetic in
+// DRAM.
+func LeNetSIMDRAM(sys *simdram.System, in FeatureMap, w LeNetWeights) ([]int64, simdram.Stats, error) {
+	var total simdram.Stats
+	add := func(st simdram.Stats) {
+		total.LatencyNs += st.LatencyNs
+		total.EnergyPJ += st.EnergyPJ
+		total.Commands += st.Commands
+	}
+	c1, st, err := ConvReLUSIMDRAM(sys, in, w.Conv1, w.Shift)
+	add(st)
+	if err != nil {
+		return nil, total, err
+	}
+	p1, st, err := MaxPool2SIMDRAM(sys, c1)
+	add(st)
+	if err != nil {
+		return nil, total, err
+	}
+	c2, st, err := ConvReLUSIMDRAM(sys, p1, w.Conv2, w.Shift)
+	add(st)
+	if err != nil {
+		return nil, total, err
+	}
+	p2, st, err := MaxPool2SIMDRAM(sys, c2)
+	add(st)
+	if err != nil {
+		return nil, total, err
+	}
+	logits, st, err := FCSIMDRAM(sys, flatten(p2), w.FC)
+	add(st)
+	return logits, total, err
+}
+
+func flatten(fm FeatureMap) []uint64 {
+	out := make([]uint64, 0, fm.C*fm.H*fm.W)
+	for _, ch := range fm.Data {
+		out = append(out, ch...)
+	}
+	return out
+}
+
+// Argmax returns the index of the largest logit.
+func Argmax(logits []int64) int {
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	return best
+}

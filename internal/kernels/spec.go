@@ -1,0 +1,156 @@
+package kernels
+
+import (
+	"fmt"
+
+	"simdram/internal/baseline/cpu"
+	"simdram/internal/baseline/gpu"
+	"simdram/internal/ctrl"
+	"simdram/internal/dram"
+	"simdram/internal/ops"
+)
+
+// OpUse is one bulk operation a kernel issues: Elems element-operations
+// of the named operation at the given width (N = operand count for N-ary
+// operations).
+type OpUse struct {
+	Name  string
+	Width int
+	N     int
+	Elems int64
+}
+
+// Spec is the operation mix of one kernel at paper scale. It drives the
+// analytical performance comparison (E4): the same μPrograms whose
+// functional correctness the tests establish, scaled to real workload
+// sizes.
+type Spec struct {
+	Name string
+	Uses []OpUse
+}
+
+// macSpec builds the op mix of a quantized convolutional network with
+// the given multiply-accumulate and activation counts: one 8-bit
+// multiplication and one 32-bit accumulate per MAC, one 32-bit ReLU and
+// one 8-bit max-pool comparison per activation.
+func macSpec(name string, macs, activations int64) Spec {
+	return Spec{
+		Name: name,
+		Uses: []OpUse{
+			{Name: "multiplication", Width: 8, Elems: macs},
+			{Name: "addition", Width: 32, Elems: macs},
+			{Name: "relu", Width: 32, Elems: activations},
+			{Name: "max", Width: 8, Elems: activations},
+		},
+	}
+}
+
+// PaperKernels returns the seven kernels at their paper-scale workload
+// sizes: VGG-13 (11.3 GMACs) and VGG-16 (15.5 GMACs) on a 224×224 image,
+// LeNet-5 (416 kMACs) per digit ×10k digits, kNN over 60k×784 MNIST,
+// TPC-H Q6 over 6M lineitem rows, a 1G-code BitWeaving scan, and
+// brightness over 100 4K frames.
+func PaperKernels() []Spec {
+	knnN, knnD := int64(60000), int64(784)
+	tpch := int64(6_000_000)
+	bw := int64(1_000_000_000)
+	pixels := int64(100 * 3840 * 2160)
+	return []Spec{
+		macSpec("VGG-13", 11_300_000_000, 9_400_000),
+		macSpec("VGG-16", 15_500_000_000, 13_600_000),
+		macSpec("LeNet", 416_000*10_000, 290_000*10),
+		{
+			Name: "kNN",
+			Uses: []OpUse{
+				{Name: "subtraction", Width: 32, Elems: knnN * knnD},
+				{Name: "abs", Width: 32, Elems: knnN * knnD},
+				{Name: "addition", Width: 32, Elems: knnN * knnD},
+			},
+		},
+		{
+			Name: "TPC-H",
+			Uses: []OpUse{
+				{Name: "greater_equal", Width: 16, Elems: 3 * tpch},
+				{Name: "greater", Width: 16, Elems: 2 * tpch},
+				{Name: "and_red", Width: 1, N: 5, Elems: tpch},
+				{Name: "multiplication", Width: 16, Elems: tpch},
+				{Name: "if_else", Width: 32, Elems: tpch},
+			},
+		},
+		{
+			Name: "BitWeaving",
+			Uses: []OpUse{
+				{Name: "greater", Width: 4, Elems: bw},
+			},
+		},
+		{
+			Name: "Brightness",
+			Uses: []OpUse{
+				{Name: "addition", Width: 16, Elems: pixels},
+				{Name: "greater", Width: 16, Elems: pixels},
+				{Name: "if_else", Width: 16, Elems: pixels},
+			},
+		},
+	}
+}
+
+// PerfResult is one platform's cost for a kernel.
+type PerfResult struct {
+	TimeNs   float64
+	EnergyPJ float64
+}
+
+// SIMDRAMPerf evaluates the spec on an in-DRAM platform (SIMDRAM or the
+// Ambit variant) with the given bank parallelism.
+func SIMDRAMPerf(s Spec, cfg dram.Config, banks int, variant ops.Variant) (PerfResult, error) {
+	model := ctrl.PerfModel{Cfg: cfg, Banks: banks}
+	var r PerfResult
+	for _, u := range s.Uses {
+		d, err := ops.ByName(u.Name)
+		if err != nil {
+			return r, err
+		}
+		syn, err := ops.SynthesizeCached(d, u.Width, u.N, variant)
+		if err != nil {
+			return r, fmt.Errorf("%s %s/%d: %w", s.Name, u.Name, u.Width, err)
+		}
+		r.TimeNs += model.LatencyNs(syn.Program, int(min64(u.Elems, 1<<62)))
+		r.EnergyPJ += model.EnergyPJ(syn.Program, int(u.Elems))
+	}
+	return r, nil
+}
+
+// CPUPerf evaluates the spec on the CPU roofline baseline.
+func CPUPerf(s Spec, c cpu.Config) (PerfResult, error) {
+	var r PerfResult
+	for _, u := range s.Uses {
+		d, err := ops.ByName(u.Name)
+		if err != nil {
+			return r, err
+		}
+		r.TimeNs += float64(u.Elems) / c.Throughput(d, u.Width, u.N) * 1e9
+		r.EnergyPJ += float64(u.Elems) * c.EnergyPJPerOp(d, u.Width, u.N)
+	}
+	return r, nil
+}
+
+// GPUPerf evaluates the spec on the GPU roofline baseline.
+func GPUPerf(s Spec, g gpu.Config) (PerfResult, error) {
+	var r PerfResult
+	for _, u := range s.Uses {
+		d, err := ops.ByName(u.Name)
+		if err != nil {
+			return r, err
+		}
+		r.TimeNs += float64(u.Elems) / g.Throughput(d, u.Width, u.N) * 1e9
+		r.EnergyPJ += float64(u.Elems) * g.EnergyPJPerOp(d, u.Width, u.N)
+	}
+	return r, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+package kernels
+
+import (
+	"simdram"
+	"simdram/internal/workload"
+)
+
+// TPCHQ6Params is the Q6-style selective aggregation: revenue from rows
+// whose shipdate falls in [DateLo, DateHi), discount in
+// [DiscountLo, DiscountHi], and quantity < QuantityLt.
+type TPCHQ6Params struct {
+	DateLo, DateHi         uint64
+	DiscountLo, DiscountHi uint64
+	QuantityLt             uint64
+}
+
+// DefaultQ6 returns the canonical predicate constants.
+func DefaultQ6() TPCHQ6Params {
+	return TPCHQ6Params{DateLo: 9500, DateHi: 9865, DiscountLo: 1, DiscountHi: 3, QuantityLt: 24}
+}
+
+// TPCHQ6Ref is the pure-Go reference: Σ price×discount over selected rows.
+func TPCHQ6Ref(t workload.LineItem, p TPCHQ6Params) uint64 {
+	var sum uint64
+	for i := 0; i < t.N; i++ {
+		if t.ShipDate[i] >= p.DateLo && t.ShipDate[i] < p.DateHi &&
+			t.Discount[i] >= p.DiscountLo && t.Discount[i] <= p.DiscountHi &&
+			t.Quantity[i] < p.QuantityLt {
+			sum += t.ExtendedPrice[i] * t.Discount[i]
+		}
+	}
+	return sum
+}
+
+// TPCHQ6SIMDRAM evaluates the predicate and the selected revenue in DRAM:
+// five in-DRAM comparisons, a 5-input and_red, a multiplication, and a
+// predicated if_else. The final scalar sum is a host-side fold over the
+// loaded revenue column (aggregation across SIMD lanes needs inter-column
+// movement, which SIMDRAM leaves to the CPU).
+func TPCHQ6SIMDRAM(sys *simdram.System, t workload.LineItem, p TPCHQ6Params) (uint64, simdram.Stats, error) {
+	e := NewEngine(sys, t.N)
+	fail := func(err error) (uint64, simdram.Stats, error) { return 0, e.Stats, err }
+
+	ship, err := e.FromData(t.ShipDate, 16)
+	if err != nil {
+		return fail(err)
+	}
+	disc, err := e.FromData(t.Discount, 16)
+	if err != nil {
+		return fail(err)
+	}
+	qty, err := e.FromData(t.Quantity, 16)
+	if err != nil {
+		return fail(err)
+	}
+	price, err := e.FromData(t.ExtendedPrice, 16)
+	if err != nil {
+		return fail(err)
+	}
+	defer FreeAll(ship, disc, qty, price)
+
+	consts := map[string]uint64{
+		"dateLo": p.DateLo, "dateHi": p.DateHi,
+		"discLo": p.DiscountLo, "discHi": p.DiscountHi,
+		"qtyLt": p.QuantityLt,
+	}
+	cv := map[string]*simdram.Vector{}
+	for name, val := range consts {
+		v, err := e.Const(val, 16)
+		if err != nil {
+			return fail(err)
+		}
+		defer v.Free()
+		cv[name] = v
+	}
+
+	p1, err := e.Op("greater_equal", ship, cv["dateLo"])
+	if err != nil {
+		return fail(err)
+	}
+	p2, err := e.Op("greater", cv["dateHi"], ship)
+	if err != nil {
+		return fail(err)
+	}
+	p3, err := e.Op("greater_equal", disc, cv["discLo"])
+	if err != nil {
+		return fail(err)
+	}
+	p4, err := e.Op("greater_equal", cv["discHi"], disc)
+	if err != nil {
+		return fail(err)
+	}
+	p5, err := e.Op("greater", cv["qtyLt"], qty)
+	if err != nil {
+		return fail(err)
+	}
+	defer FreeAll(p1, p2, p3, p4, p5)
+
+	pred, err := e.Op("and_red", p1, p2, p3, p4, p5)
+	if err != nil {
+		return fail(err)
+	}
+	defer pred.Free()
+
+	rev, err := e.Op("multiplication", price, disc) // 16×16 → 32
+	if err != nil {
+		return fail(err)
+	}
+	defer rev.Free()
+	zero, err := e.Const(0, 32)
+	if err != nil {
+		return fail(err)
+	}
+	defer zero.Free()
+	sel, err := e.Op("if_else", rev, zero, pred)
+	if err != nil {
+		return fail(err)
+	}
+	defer sel.Free()
+
+	vals, err := sel.Load()
+	if err != nil {
+		return fail(err)
+	}
+	var sum uint64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum, e.Stats, nil
+}

@@ -1,0 +1,120 @@
+package logic
+
+import "fmt"
+
+// EvalWords evaluates the circuit bit-parallel over 64 lanes at once.
+// inputs[i] is the word for declared input i (one bit per lane). The
+// result has one word per declared output, in declaration order.
+//
+// This mirrors SIMDRAM's execution model: every bit position of a word is
+// an independent SIMD lane, exactly as every bitline of a DRAM subarray is
+// an independent lane.
+func (c *Circuit) EvalWords(inputs []uint64) []uint64 {
+	if len(inputs) != len(c.Inputs) {
+		panic(fmt.Sprintf("logic: EvalWords: want %d input words, have %d", len(c.Inputs), len(inputs)))
+	}
+	val := make([]uint64, len(c.Nodes))
+	in := 0
+	for i, n := range c.Nodes {
+		switch n.Kind {
+		case KindInput:
+			val[i] = inputs[in]
+			in++
+		case KindConst:
+			if n.Value {
+				val[i] = ^uint64(0)
+			}
+		case KindNot:
+			val[i] = ^val[n.Fanins[0]]
+		case KindAnd:
+			v := ^uint64(0)
+			for _, f := range n.Fanins {
+				v &= val[f]
+			}
+			val[i] = v
+		case KindOr:
+			v := uint64(0)
+			for _, f := range n.Fanins {
+				v |= val[f]
+			}
+			val[i] = v
+		case KindXor:
+			v := uint64(0)
+			for _, f := range n.Fanins {
+				v ^= val[f]
+			}
+			val[i] = v
+		case KindMaj:
+			a, b, d := val[n.Fanins[0]], val[n.Fanins[1]], val[n.Fanins[2]]
+			val[i] = (a & b) | (a & d) | (b & d)
+		case KindMux:
+			s, t, f := val[n.Fanins[0]], val[n.Fanins[1]], val[n.Fanins[2]]
+			val[i] = (s & t) | (^s & f)
+		default:
+			panic(fmt.Sprintf("logic: EvalWords: unknown kind %v", n.Kind))
+		}
+	}
+	out := make([]uint64, len(c.Outputs))
+	for i, o := range c.Outputs {
+		out[i] = val[o]
+	}
+	return out
+}
+
+// EvalBits evaluates the circuit on a single assignment of boolean inputs.
+func (c *Circuit) EvalBits(inputs []bool) []bool {
+	words := make([]uint64, len(inputs))
+	for i, b := range inputs {
+		if b {
+			words[i] = 1
+		}
+	}
+	res := c.EvalWords(words)
+	out := make([]bool, len(res))
+	for i, w := range res {
+		out[i] = w&1 == 1
+	}
+	return out
+}
+
+// EvalUint treats the declared inputs as a sequence of little-endian buses
+// whose widths are given by widths, evaluates the circuit on the packed
+// values, and returns the outputs packed the same way using outWidths.
+// It is a convenience for testing word-level operators.
+func (c *Circuit) EvalUint(widths []int, values []uint64, outWidths []int) []uint64 {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	if total != len(c.Inputs) {
+		panic(fmt.Sprintf("logic: EvalUint: bus widths sum to %d, circuit has %d inputs", total, len(c.Inputs)))
+	}
+	if len(widths) != len(values) {
+		panic("logic: EvalUint: len(widths) != len(values)")
+	}
+	bits := make([]uint64, 0, total)
+	for i, w := range widths {
+		for b := 0; b < w; b++ {
+			bits = append(bits, (values[i]>>uint(b))&1*^uint64(0))
+		}
+	}
+	res := c.EvalWords(bits)
+	outTotal := 0
+	for _, w := range outWidths {
+		outTotal += w
+	}
+	if outTotal != len(c.Outputs) {
+		panic(fmt.Sprintf("logic: EvalUint: out widths sum to %d, circuit has %d outputs", outTotal, len(c.Outputs)))
+	}
+	out := make([]uint64, len(outWidths))
+	pos := 0
+	for i, w := range outWidths {
+		var v uint64
+		for b := 0; b < w; b++ {
+			v |= (res[pos] & 1) << uint(b)
+			pos++
+		}
+		out[i] = v
+	}
+	return out
+}

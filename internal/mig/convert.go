@@ -1,0 +1,97 @@
+package mig
+
+import (
+	"fmt"
+
+	"simdram/internal/logic"
+)
+
+// FromCircuit lowers a gate-level circuit to a MIG (SIMDRAM Step 1, first
+// half). Gates map to MAJ templates:
+//
+//	AND(a,b) = MAJ(a,b,0)          OR(a,b)  = MAJ(a,b,1)
+//	XOR(a,b) = AND(OR(a,b), NAND(a,b))          (3 MAJ)
+//	XOR(a,b,c) = MAJ(!MAJ(a,b,c), MAJ(a,b,!c), c) (3 MAJ, full-adder sum)
+//	MUX(s,t,f) = OR(AND(s,t), AND(!s,f))        (3 MAJ)
+//
+// Structural hashing in the builder shares common subexpressions, e.g. a
+// ripple-carry adder shares MAJ(a,b,c) between the carry chain and the
+// XOR3 sum template, giving the hand-optimized 3-MAJ/bit full adder.
+func FromCircuit(c *logic.Circuit) (*MIG, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("mig: invalid source circuit: %w", err)
+	}
+	m := New(len(c.Inputs))
+	memo := make([]Lit, len(c.Nodes))
+	inputIdx := 0
+	for i, n := range c.Nodes {
+		switch n.Kind {
+		case logic.KindInput:
+			memo[i] = m.Input(inputIdx)
+			if n.Name != "" {
+				m.SetInputName(inputIdx, n.Name)
+			}
+			inputIdx++
+		case logic.KindConst:
+			if n.Value {
+				memo[i] = ConstTrue
+			} else {
+				memo[i] = ConstFalse
+			}
+		case logic.KindNot:
+			memo[i] = memo[n.Fanins[0]].Not()
+		case logic.KindAnd:
+			acc := memo[n.Fanins[0]]
+			for _, f := range n.Fanins[1:] {
+				acc = m.And(acc, memo[f])
+			}
+			memo[i] = acc
+		case logic.KindOr:
+			acc := memo[n.Fanins[0]]
+			for _, f := range n.Fanins[1:] {
+				acc = m.Or(acc, memo[f])
+			}
+			memo[i] = acc
+		case logic.KindXor:
+			memo[i] = convertXor(m, n.Fanins, memo)
+		case logic.KindMaj:
+			memo[i] = m.Maj(memo[n.Fanins[0]], memo[n.Fanins[1]], memo[n.Fanins[2]])
+		case logic.KindMux:
+			memo[i] = m.Mux(memo[n.Fanins[0]], memo[n.Fanins[1]], memo[n.Fanins[2]])
+		default:
+			return nil, fmt.Errorf("mig: cannot convert gate kind %v", n.Kind)
+		}
+	}
+	for i, o := range c.Outputs {
+		name := ""
+		if i < len(c.OutputNames) {
+			name = c.OutputNames[i]
+		}
+		m.AddOutput(memo[o], name)
+	}
+	return m, nil
+}
+
+// convertXor lowers an n-ary XOR, grouping fanins in threes to exploit the
+// 3-MAJ XOR3 template before falling back to 2-input XOR.
+func convertXor(m *MIG, fanins []int, memo []Lit) Lit {
+	lits := make([]Lit, len(fanins))
+	for i, f := range fanins {
+		lits[i] = memo[f]
+	}
+	for len(lits) > 1 {
+		var next []Lit
+		i := 0
+		for ; i+2 < len(lits); i += 3 {
+			next = append(next, m.Xor3(lits[i], lits[i+1], lits[i+2]))
+		}
+		for ; i+1 < len(lits); i += 2 {
+			next = append(next, m.Xor(lits[i], lits[i+1]))
+		}
+		if i < len(lits) {
+			next = append(next, lits[i])
+		}
+		lits = next
+	}
+	return lits[0]
+}

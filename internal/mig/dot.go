@@ -1,0 +1,67 @@
+package mig
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the MIG as a Graphviz digraph: MAJ nodes as circles,
+// inputs as boxes, complemented edges dashed. Useful for inspecting what
+// Step 1 produced for a small operation:
+//
+//	simdram-synth -op max -width 4 -dot | dot -Tsvg > max4.svg
+func (m *MIG) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=BT;\n", title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  n0 [label=\"0\" shape=box style=filled fillcolor=lightgray];\n")
+	for i := 1; i <= m.numInputs; i++ {
+		fmt.Fprintf(w, "  n%d [label=%q shape=box];\n", i, m.inputNames[i-1])
+	}
+	reach := make([]bool, len(m.nodes))
+	var mark func(idx int)
+	mark = func(idx int) {
+		if reach[idx] {
+			return
+		}
+		reach[idx] = true
+		n := m.nodes[idx]
+		if n.isLeaf() {
+			return
+		}
+		mark(n.a.Node())
+		mark(n.b.Node())
+		mark(n.c.Node())
+	}
+	for _, o := range m.outputs {
+		mark(o.Node())
+	}
+	edge := func(from int, l Lit) {
+		style := "solid"
+		if l.Neg() {
+			style = "dashed"
+		}
+		fmt.Fprintf(w, "  n%d -> n%d [style=%s];\n", l.Node(), from, style)
+	}
+	for i := m.numInputs + 1; i < len(m.nodes); i++ {
+		if !reach[i] {
+			continue
+		}
+		n := m.nodes[i]
+		fmt.Fprintf(w, "  n%d [label=\"MAJ\" shape=circle];\n", i)
+		edge(i, n.a)
+		edge(i, n.b)
+		edge(i, n.c)
+	}
+	for oi, o := range m.outputs {
+		name := m.outNames[oi]
+		fmt.Fprintf(w, "  o%d [label=%q shape=box style=filled fillcolor=lightblue];\n", oi, name)
+		style := "solid"
+		if o.Neg() {
+			style = "dashed"
+		}
+		fmt.Fprintf(w, "  n%d -> o%d [style=%s];\n", o.Node(), oi, style)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,394 @@
+package mig
+
+// This file implements SIMDRAM Step 1's logic optimization: rewriting the
+// MIG with the majority algebra axioms (Ω rules) to minimize the number of
+// MAJ nodes, and therefore the number of DRAM triple-row activations the
+// final μProgram needs.
+//
+// The rewriter is rebuild-based: each pass reconstructs the graph in
+// topological order through the hash-consing builder (which folds Ω.M,
+// complement cancellation and constants on the fly) while attempting one
+// local rewrite rule at every node. A pass is kept only if it improves the
+// target metric, so optimization never regresses.
+
+// OptimizeOptions selects rewrite passes. The zero value disables all
+// rewriting; DefaultOptimize enables everything.
+type OptimizeOptions struct {
+	MaxIters       int  // fixpoint iteration cap (default 8)
+	Distributivity bool // Ω.D right-to-left: size-reducing
+	Relevance      bool // Ω.R depth-1 substitution: enables folding
+	Associativity  bool // Ω.A: depth-reducing swaps
+}
+
+// DefaultOptimize enables all rewrite rules.
+func DefaultOptimize() OptimizeOptions {
+	return OptimizeOptions{MaxIters: 8, Distributivity: true, Relevance: true, Associativity: true}
+}
+
+// OptimizeStats reports what an Optimize call achieved.
+type OptimizeStats struct {
+	SizeBefore, SizeAfter   int
+	DepthBefore, DepthAfter int
+	Iterations              int
+}
+
+// Optimize rewrites the graph in place and returns statistics.
+func (m *MIG) Optimize(opt OptimizeOptions) OptimizeStats {
+	if opt.MaxIters <= 0 {
+		opt.MaxIters = 8
+	}
+	stats := OptimizeStats{SizeBefore: m.Size(), DepthBefore: m.Depth()}
+	cur := m.rebuild(nil)
+	cur.Compact()
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		improved := false
+		if opt.Distributivity {
+			if next, ok := betterSize(cur, cur.rebuild(ruleDistributivity)); ok {
+				cur, improved = next, true
+			}
+		}
+		if opt.Relevance {
+			if next, ok := betterSize(cur, cur.rebuild(ruleRelevance)); ok {
+				cur, improved = next, true
+			}
+		}
+		if opt.Associativity {
+			if next, ok := betterDepth(cur, cur.rebuild(ruleAssociativity)); ok {
+				cur, improved = next, true
+			}
+		}
+		stats.Iterations = iter + 1
+		if !improved {
+			break
+		}
+	}
+	*m = *cur
+	stats.SizeAfter = m.Size()
+	stats.DepthAfter = m.Depth()
+	return stats
+}
+
+func betterSize(cur, cand *MIG) (*MIG, bool) {
+	cand.Compact()
+	if cand.Size() < cur.Size() {
+		return cand, true
+	}
+	return cur, false
+}
+
+func betterDepth(cur, cand *MIG) (*MIG, bool) {
+	cand.Compact()
+	if cand.Size() <= cur.Size() && cand.Depth() < cur.Depth() {
+		return cand, true
+	}
+	return cur, false
+}
+
+// rewriteContext gives a rule access to both graphs during a rebuild.
+type rewriteContext struct {
+	old       *MIG
+	oldFanout []int
+	oldIdx    int // node being rebuilt in the old graph
+
+	newDepths []int // lazily extended per-node depth cache on the new graph
+}
+
+// depth returns the MAJ depth of l's node in the new graph, extending the
+// cache incrementally (nodes are append-only and topologically ordered).
+func (ctx *rewriteContext) depth(n *MIG, l Lit) int {
+	for len(ctx.newDepths) < n.NumNodes() {
+		i := len(ctx.newDepths)
+		nd := n.nodes[i]
+		if nd.isLeaf() {
+			ctx.newDepths = append(ctx.newDepths, 0)
+			continue
+		}
+		d := ctx.newDepths[nd.a.Node()]
+		if x := ctx.newDepths[nd.b.Node()]; x > d {
+			d = x
+		}
+		if x := ctx.newDepths[nd.c.Node()]; x > d {
+			d = x
+		}
+		ctx.newDepths = append(ctx.newDepths, d+1)
+	}
+	return ctx.newDepths[l.Node()]
+}
+
+// ruleFunc attempts a rewrite of MAJ(a,b,c) (literals already remapped
+// into the new graph n). It returns the result literal and true, or false
+// to fall back to a plain Maj build.
+type ruleFunc func(n *MIG, ctx *rewriteContext, a, b, c Lit) (Lit, bool)
+
+// rebuild reconstructs the graph node by node through the hashing builder,
+// optionally applying rule at each node.
+func (m *MIG) rebuild(rule ruleFunc) *MIG {
+	n := New(m.numInputs)
+	copy(n.inputNames, m.inputNames)
+	ctx := &rewriteContext{old: m}
+	if rule != nil {
+		ctx.oldFanout = m.FanoutCounts()
+	}
+	memo := make([]Lit, len(m.nodes))
+	memo[0] = ConstFalse
+	for i := 0; i < m.numInputs; i++ {
+		memo[1+i] = n.Input(i)
+	}
+	for i := m.numInputs + 1; i < len(m.nodes); i++ {
+		nd := m.nodes[i]
+		a := mapLit(nd.a, memo)
+		b := mapLit(nd.b, memo)
+		c := mapLit(nd.c, memo)
+		if rule != nil {
+			ctx.oldIdx = i
+			if l, ok := rule(n, ctx, a, b, c); ok {
+				memo[i] = l
+				continue
+			}
+		}
+		memo[i] = n.Maj(a, b, c)
+	}
+	for i, o := range m.outputs {
+		n.AddOutput(mapLit(o, memo), m.outNames[i])
+	}
+	return n
+}
+
+func mapLit(l Lit, memo []Lit) Lit {
+	r := memo[l.Node()]
+	if l.Neg() {
+		return r.Not()
+	}
+	return r
+}
+
+// expand returns the child literals of lit if it refers to a MAJ node,
+// pushing a complement on lit into the children (self-duality).
+func (m *MIG) expand(lit Lit) (x, y, z Lit, ok bool) {
+	idx := lit.Node()
+	nd := m.nodes[idx]
+	if nd.isLeaf() {
+		return 0, 0, 0, false
+	}
+	x, y, z = nd.a, nd.b, nd.c
+	if lit.Neg() {
+		x, y, z = x.Not(), y.Not(), z.Not()
+	}
+	return x, y, z, true
+}
+
+// truncate pops nodes created after mark, fixing the hash map. Only safe
+// when nothing references them yet (i.e. immediately after tentative
+// builds).
+func (m *MIG) truncate(mark int) {
+	for i := mark; i < len(m.nodes); i++ {
+		delete(m.hash, m.nodes[i])
+	}
+	m.nodes = m.nodes[:mark]
+}
+
+// ruleDistributivity applies Ω.D right-to-left:
+//
+//	MAJ(MAJ(x,y,u), MAJ(x,y,v), z)  →  MAJ(x, y, MAJ(u,v,z))
+//
+// replacing three MAJ nodes with two whenever two children share two
+// grandchildren. It only fires when both inner nodes have fanout 1 in the
+// old graph, so the rewrite is guaranteed size-reducing after compaction.
+func ruleDistributivity(n *MIG, ctx *rewriteContext, a, b, c Lit) (Lit, bool) {
+	kids := [3]Lit{a, b, c}
+	oldKids := [3]Lit{ctx.old.nodes[ctx.oldIdx].a, ctx.old.nodes[ctx.oldIdx].b, ctx.old.nodes[ctx.oldIdx].c}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			p, q := kids[i], kids[j]
+			var z Lit
+			for k := 0; k < 3; k++ {
+				if k != i && k != j {
+					z = kids[k]
+				}
+			}
+			if n.IsConst(p.Node()) || n.IsInput(p.Node()) || n.IsConst(q.Node()) || n.IsInput(q.Node()) {
+				continue
+			}
+			// Fanout-1 guard on the old graph's corresponding children.
+			if ctx.oldFanout[oldKids[i].Node()] != 1 || ctx.oldFanout[oldKids[j].Node()] != 1 {
+				continue
+			}
+			px, py, pu, ok1 := n.expand(p)
+			if !ok1 {
+				continue
+			}
+			qx, qy, qv, ok2 := n.expand(q)
+			if !ok2 {
+				continue
+			}
+			pg := [3]Lit{px, py, pu}
+			qg := [3]Lit{qx, qy, qv}
+			// Find a shared pair between pg and qg.
+			for pi := 0; pi < 3; pi++ {
+				for pj := pi + 1; pj < 3; pj++ {
+					s1, s2 := pg[pi], pg[pj]
+					if mi, mj, ok := matchPair(qg, s1, s2); ok {
+						var u, v Lit
+						for k := 0; k < 3; k++ {
+							if k != pi && k != pj {
+								u = pg[k]
+							}
+							if k != mi && k != mj {
+								v = qg[k]
+							}
+						}
+						return n.Maj(s1, s2, n.Maj(u, v, z)), true
+					}
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// matchPair finds s1 and s2 at distinct positions of g.
+func matchPair(g [3]Lit, s1, s2 Lit) (i, j int, ok bool) {
+	for i = 0; i < 3; i++ {
+		if g[i] != s1 {
+			continue
+		}
+		for j = 0; j < 3; j++ {
+			if j != i && g[j] == s2 {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// ruleRelevance applies a depth-1 Ω.R substitution:
+//
+//	MAJ(x, y, z)  =  MAJ(x, y, z[x→!y, !x→y, y→!x, !y→x])
+//
+// The substituted occurrence often triggers Ω.M folding inside z. The
+// rewrite is attempted tentatively and rolled back unless the inner node
+// folds away (no new node materializes).
+func ruleRelevance(n *MIG, ctx *rewriteContext, a, b, c Lit) (Lit, bool) {
+	kids := [3]Lit{a, b, c}
+	oldKids := [3]Lit{ctx.old.nodes[ctx.oldIdx].a, ctx.old.nodes[ctx.oldIdx].b, ctx.old.nodes[ctx.oldIdx].c}
+	for zi := 0; zi < 3; zi++ {
+		z := kids[zi]
+		if n.IsConst(z.Node()) || n.IsInput(z.Node()) {
+			continue
+		}
+		if ctx.oldFanout[oldKids[zi].Node()] != 1 {
+			continue
+		}
+		zx, zy, zz, ok := n.expand(z)
+		if !ok {
+			continue
+		}
+		var x, y Lit
+		first := true
+		for k := 0; k < 3; k++ {
+			if k == zi {
+				continue
+			}
+			if first {
+				x = kids[k]
+				first = false
+			} else {
+				y = kids[k]
+			}
+		}
+		// Under the only assignments where z matters, x = !y. Try the two
+		// directed substitutions separately so folding can make progress.
+		for _, dir := range [2][2]Lit{{x, y.Not()}, {y, x.Not()}} {
+			from, to := dir[0], dir[1]
+			sub := func(l Lit) Lit {
+				switch l {
+				case from:
+					return to
+				case from.Not():
+					return to.Not()
+				}
+				return l
+			}
+			nx, ny, nz := sub(zx), sub(zy), sub(zz)
+			if nx == zx && ny == zy && nz == zz {
+				continue
+			}
+			mark := n.NumNodes()
+			zNew := n.Maj(nx, ny, nz)
+			if n.NumNodes() > mark {
+				// Did not fold: revert the tentative node.
+				n.truncate(mark)
+				continue
+			}
+			return n.Maj(x, y, zNew), true
+		}
+	}
+	return 0, false
+}
+
+// ruleAssociativity applies Ω.A to shorten the critical path:
+//
+//	MAJ(x, u, MAJ(y, u, z))  →  MAJ(z, u, MAJ(y, u, x))
+//
+// swapping a deep outer child x with a shallow inner child z when that
+// reduces the node's level. Fires only on fanout-1 inner nodes so size is
+// unchanged.
+func ruleAssociativity(n *MIG, ctx *rewriteContext, a, b, c Lit) (Lit, bool) {
+	d := func(l Lit) int { return ctx.depth(n, l) }
+	kids := [3]Lit{a, b, c}
+	oldKids := [3]Lit{ctx.old.nodes[ctx.oldIdx].a, ctx.old.nodes[ctx.oldIdx].b, ctx.old.nodes[ctx.oldIdx].c}
+	for zi := 0; zi < 3; zi++ {
+		inner := kids[zi]
+		if n.IsConst(inner.Node()) || n.IsInput(inner.Node()) {
+			continue
+		}
+		if ctx.oldFanout[oldKids[zi].Node()] != 1 {
+			continue
+		}
+		ix, iy, iz, ok := n.expand(inner)
+		if !ok {
+			continue
+		}
+		ig := [3]Lit{ix, iy, iz}
+		var outer [2]Lit
+		oi := 0
+		for k := 0; k < 3; k++ {
+			if k != zi {
+				outer[oi] = kids[k]
+				oi++
+			}
+		}
+		// Need a shared child u between outer pair and inner children.
+		for ui := 0; ui < 2; ui++ {
+			u := outer[ui]
+			x := outer[1-ui]
+			for ii := 0; ii < 3; ii++ {
+				if ig[ii] != u {
+					continue
+				}
+				// Remaining inner children: y and z candidates.
+				var rest [2]Lit
+				ri := 0
+				for k := 0; k < 3; k++ {
+					if k != ii {
+						rest[ri] = ig[k]
+						ri++
+					}
+				}
+				for zi2 := 0; zi2 < 2; zi2++ {
+					z := rest[zi2]
+					y := rest[1-zi2]
+					// Swap helps if x is deeper than z.
+					if d(x) > d(z)+1 {
+						innerNew := n.Maj(y, u, x)
+						return n.Maj(z, u, innerNew), true
+					}
+				}
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,113 @@
+package mig
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simdram/internal/logic"
+)
+
+// VerifyAgainstCircuit checks, by randomized 64-lane simulation, that the
+// MIG computes the same function as the source circuit. trials is the
+// number of random 64-assignment batches (so trials×64 assignments are
+// checked; small input counts are checked exhaustively instead).
+func VerifyAgainstCircuit(m *MIG, c *logic.Circuit, trials int, seed int64) error {
+	if m.NumInputs() != c.NumInputs() {
+		return fmt.Errorf("mig: input count mismatch: mig=%d circuit=%d", m.NumInputs(), c.NumInputs())
+	}
+	if len(m.Outputs()) != c.NumOutputs() {
+		return fmt.Errorf("mig: output count mismatch: mig=%d circuit=%d", len(m.Outputs()), c.NumOutputs())
+	}
+	n := m.NumInputs()
+	if n <= 16 {
+		return verifyExhaustive(m, c)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]uint64, n)
+	for t := 0; t < trials; t++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		got := m.EvalWords(in)
+		want := c.EvalWords(in)
+		for o := range want {
+			if got[o] != want[o] {
+				return fmt.Errorf("mig: output %d mismatch on trial %d: got %#x want %#x", o, t, got[o], want[o])
+			}
+		}
+	}
+	return nil
+}
+
+func verifyExhaustive(m *MIG, c *logic.Circuit) error {
+	n := m.NumInputs()
+	total := uint64(1) << uint(n)
+	in := make([]uint64, n)
+	for base := uint64(0); base < total; base += 64 {
+		for i := range in {
+			var w uint64
+			for lane := uint64(0); lane < 64 && base+lane < total; lane++ {
+				bit := ((base + lane) >> uint(i)) & 1
+				w |= bit << lane
+			}
+			in[i] = w
+		}
+		got := m.EvalWords(in)
+		want := c.EvalWords(in)
+		lanes := total - base
+		if lanes > 64 {
+			lanes = 64
+		}
+		mask := ^uint64(0)
+		if lanes < 64 {
+			mask = (uint64(1) << lanes) - 1
+		}
+		for o := range want {
+			if got[o]&mask != want[o]&mask {
+				return fmt.Errorf("mig: output %d mismatch near assignment %d", o, base)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyEquivalent checks two MIGs compute the same function by randomized
+// simulation (exhaustive for ≤16 inputs).
+func VerifyEquivalent(a, b *MIG, trials int, seed int64) error {
+	if a.NumInputs() != b.NumInputs() || len(a.Outputs()) != len(b.Outputs()) {
+		return fmt.Errorf("mig: shape mismatch")
+	}
+	n := a.NumInputs()
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]uint64, n)
+	check := func() error {
+		ra := a.EvalWords(in)
+		rb := b.EvalWords(in)
+		for o := range ra {
+			if ra[o] != rb[o] {
+				return fmt.Errorf("mig: output %d differs", o)
+			}
+		}
+		return nil
+	}
+	if n <= 6 {
+		// One 64-lane eval covers everything.
+		for i := range in {
+			var w uint64
+			for lane := uint64(0); lane < 64; lane++ {
+				w |= ((lane >> uint(i)) & 1) << lane
+			}
+			in[i] = w
+		}
+		return check()
+	}
+	for t := 0; t < trials; t++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		if err := check(); err != nil {
+			return fmt.Errorf("trial %d: %w", t, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+package ops
+
+import (
+	"fmt"
+
+	"simdram/internal/logic"
+)
+
+// Circuit builders. All operands are little-endian buses declared
+// operand-major; helper functions work on buses of node indices.
+
+type gateFn func(c *logic.Circuit, a, b int) int
+
+func logicAnd(c *logic.Circuit, a, b int) int { return c.And(a, b) }
+func logicOr(c *logic.Circuit, a, b int) int  { return c.Or(a, b) }
+func logicXor(c *logic.Circuit, a, b int) int { return c.Xor(a, b) }
+
+func checkWidth(w int) error {
+	if w < 1 || w > 64 {
+		return fmt.Errorf("ops: width %d out of range [1,64]", w)
+	}
+	return nil
+}
+
+// buildReduction builds the N-input element-wise reduction (and_red,
+// or_red, xor_red): out bit i = op over operands k of src_k bit i.
+func buildReduction(w, n int, op gateFn) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("ops: reduction needs at least 2 operands, have %d", n)
+	}
+	c := logic.New()
+	buses := make([][]int, n)
+	for k := range buses {
+		buses[k] = c.InputBus(fmt.Sprintf("x%d", k), w)
+	}
+	out := make([]int, w)
+	for i := 0; i < w; i++ {
+		acc := buses[0][i]
+		for k := 1; k < n; k++ {
+			acc = op(c, acc, buses[k][i])
+		}
+		out[i] = acc
+	}
+	c.OutputBus(out, "y")
+	return c, nil
+}
+
+// rippleAdd returns sum bits of a + b + cin and the carry-out node.
+// Full adders use XOR3 + MAJ so MIG conversion shares the carry.
+func rippleAdd(c *logic.Circuit, a, b []int, cin int) (sum []int, cout int) {
+	carry := cin
+	sum = make([]int, len(a))
+	for i := range a {
+		sum[i] = c.Xor(a[i], b[i], carry)
+		carry = c.Maj(a[i], b[i], carry)
+	}
+	return sum, carry
+}
+
+// notBus complements every bit of a bus.
+func notBus(c *logic.Circuit, a []int) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = c.Not(a[i])
+	}
+	return out
+}
+
+// muxBus selects a (sel=1) or b (sel=0) element-wise.
+func muxBus(c *logic.Circuit, sel int, a, b []int) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = c.Mux(sel, a[i], b[i])
+	}
+	return out
+}
+
+// geCarry returns the carry chain comparing a and b: with strict=false it
+// computes a >= b (carry-out of a + ~b + 1); with strict=true, a > b
+// (carry-out of a + ~b). One MAJ per bit.
+func geCarry(c *logic.Circuit, a, b []int, strict bool) int {
+	carry := c.Const(!strict)
+	for i := range a {
+		carry = c.Maj(a[i], c.Not(b[i]), carry)
+	}
+	return carry
+}
+
+func buildEqual(w int) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	b := c.InputBus("b", w)
+	acc := c.Const(true)
+	for i := 0; i < w; i++ {
+		acc = c.And(acc, c.Not(c.Xor(a[i], b[i])))
+	}
+	c.Output(acc, "eq")
+	return c, nil
+}
+
+func buildCompare(w int, strict bool) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	b := c.InputBus("b", w)
+	name := "ge"
+	if strict {
+		name = "gt"
+	}
+	c.Output(geCarry(c, a, b, strict), name)
+	return c, nil
+}
+
+func buildMinMax(w int, max bool) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	b := c.InputBus("b", w)
+	ge := geCarry(c, a, b, false) // a >= b
+	var out []int
+	if max {
+		out = muxBus(c, ge, a, b)
+	} else {
+		out = muxBus(c, ge, b, a)
+	}
+	c.OutputBus(out, "y")
+	return c, nil
+}
+
+func buildAdd(w int) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	b := c.InputBus("b", w)
+	sum, _ := rippleAdd(c, a, b, c.Const(false))
+	c.OutputBus(sum, "y")
+	return c, nil
+}
+
+func buildSub(w int) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	b := c.InputBus("b", w)
+	diff, _ := rippleAdd(c, a, notBus(c, b), c.Const(true))
+	c.OutputBus(diff, "y")
+	return c, nil
+}
+
+func buildMul(w int) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	dw := mulDstWidth(w)
+	c := logic.New()
+	a := c.InputBus("a", w)
+	b := c.InputBus("b", w)
+	zero := c.Const(false)
+	// Carry-save accumulation: partial products compress through 3:2
+	// counters (one full adder — 3 MAJ — per touched bit) without
+	// propagating carries, and a single ripple adder resolves the final
+	// sum/carry pair. Roughly halves the MAJ count of naive shift-add.
+	sum := make([]int, dw)
+	carry := make([]int, dw)
+	for i := range sum {
+		sum[i], carry[i] = zero, zero
+	}
+	for j := 0; j < w; j++ {
+		newCarry := make([]int, dw)
+		for i := range newCarry {
+			newCarry[i] = zero
+		}
+		for i := 0; i < w && j+i < dw; i++ {
+			pp := c.And(a[i], b[j])
+			pos := j + i
+			s := c.Xor(sum[pos], carry[pos], pp)
+			cy := c.Maj(sum[pos], carry[pos], pp)
+			sum[pos] = s
+			if pos+1 < dw {
+				newCarry[pos+1] = cy
+			}
+		}
+		// Carries at positions the CSA neither consumed ([j, j+w-1]) nor
+		// produced ([j+1, j+w]) stay put.
+		for i := 0; i < dw; i++ {
+			if i < j || i > j+w {
+				newCarry[i] = carry[i]
+			}
+		}
+		carry = newCarry
+	}
+	out, _ := rippleAdd(c, sum, carry, zero)
+	c.OutputBus(out, "p")
+	return c, nil
+}
+
+func buildDiv(w int) (*logic.Circuit, error) {
+	return buildDivMod(w, false)
+}
+
+func buildMod(w int) (*logic.Circuit, error) {
+	return buildDivMod(w, true)
+}
+
+// buildDivMod builds restoring division, outputting the quotient or the
+// remainder. With a zero divisor every trial subtraction fires (R-0=R),
+// giving quotient all-ones and remainder a — the hardware convention.
+func buildDivMod(w int, remainder bool) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	b := c.InputBus("b", w)
+	zero := c.Const(false)
+	// Restoring division, MSB first. The remainder R has w+1 bits so the
+	// trial subtraction never overflows; divisor compares against R with
+	// a zero-extended top bit.
+	bx := append(append([]int(nil), b...), zero)
+	r := make([]int, w+1)
+	for i := range r {
+		r[i] = zero
+	}
+	q := make([]int, w)
+	for step := w - 1; step >= 0; step-- {
+		// R = (R << 1) | a[step]
+		r = append([]int{a[step]}, r[:w]...)
+		// ge = R >= b
+		ge := geCarry(c, r, bx, false)
+		// R = ge ? R - b : R
+		diff, _ := rippleAdd(c, r, notBus(c, bx), c.Const(true))
+		r = muxBus(c, ge, diff, r)
+		q[step] = ge
+	}
+	if remainder {
+		c.OutputBus(r[:w], "r")
+	} else {
+		c.OutputBus(q, "q")
+	}
+	return c, nil
+}
+
+func buildAbs(w int) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	s := a[w-1]
+	// |a| = (a XOR sign) + sign: conditional invert plus increment.
+	t := make([]int, w)
+	for i := range t {
+		t[i] = c.Xor(a[i], s)
+	}
+	out := make([]int, w)
+	carry := s
+	for i := 0; i < w; i++ {
+		out[i] = c.Xor(t[i], carry)
+		carry = c.And(t[i], carry)
+	}
+	c.OutputBus(out, "y")
+	return c, nil
+}
+
+func buildBitCount(w int) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	dw := bitcountDstWidth(w)
+	// Carry-save counter tree: buckets[k] holds wires of weight 2^k.
+	// Full adders compress three same-weight wires into one sum wire and
+	// one next-weight carry; half adders finish off pairs.
+	buckets := make([][]int, dw+1)
+	buckets[0] = append(buckets[0], a...)
+	for k := 0; k < dw; k++ {
+		for len(buckets[k]) >= 3 {
+			x, y, z := buckets[k][0], buckets[k][1], buckets[k][2]
+			buckets[k] = buckets[k][3:]
+			buckets[k] = append(buckets[k], c.Xor(x, y, z))
+			buckets[k+1] = append(buckets[k+1], c.Maj(x, y, z))
+		}
+		if len(buckets[k]) == 2 {
+			x, y := buckets[k][0], buckets[k][1]
+			buckets[k] = []int{c.Xor(x, y)}
+			buckets[k+1] = append(buckets[k+1], c.And(x, y))
+		}
+	}
+	out := make([]int, dw)
+	zero := c.Const(false)
+	for k := 0; k < dw; k++ {
+		if len(buckets[k]) == 1 {
+			out[k] = buckets[k][0]
+		} else {
+			out[k] = zero
+		}
+	}
+	c.OutputBus(out, "count")
+	return c, nil
+}
+
+func buildReLU(w int) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	keep := c.Not(a[w-1])
+	out := make([]int, w)
+	for i := range out {
+		out[i] = c.And(a[i], keep)
+	}
+	c.OutputBus(out, "y")
+	return c, nil
+}
+
+func buildIfElse(w int) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	b := c.InputBus("b", w)
+	sel := c.Input("sel") // 1-bit predicate operand
+	c.OutputBus(muxBus(c, sel, a, b), "y")
+	return c, nil
+}
+
+func buildNot(w int) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	c.OutputBus(notBus(c, a), "y")
+	return c, nil
+}

@@ -1,0 +1,67 @@
+package ops
+
+import (
+	"fmt"
+
+	"simdram/internal/logic"
+)
+
+// Bit shifts (paper §2): in the vertical layout, shifting every element
+// left by k is pure row wiring — destination bit i reads source bit i-k,
+// and the freed positions read the all-zeros control row. The circuit is
+// gate-free, so the generated μProgram is exactly the paper's
+// implementation: one row copy (AAP) per destination row.
+//
+// ShiftDefs are registered for k = 1 ("shift_left", "shift_right"); other
+// distances are available through BuildShift for callers composing their
+// own circuits, or — as the paper notes — for free, by adjusting the row
+// indices later commands read from.
+
+// BuildShift returns the circuit for a logical shift by k (left when
+// left is true), with zero fill.
+func BuildShift(w, k int, left bool) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	if k < 0 || k > w {
+		return nil, fmt.Errorf("ops: shift distance %d out of range [0,%d]", k, w)
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	zero := c.Const(false)
+	out := make([]int, w)
+	for i := 0; i < w; i++ {
+		var src int
+		if left {
+			src = i - k
+		} else {
+			src = i + k
+		}
+		if src >= 0 && src < w {
+			out[i] = a[src]
+		} else {
+			out[i] = zero
+		}
+	}
+	c.OutputBus(out, "y")
+	return c, nil
+}
+
+func init() {
+	register(Def{
+		Code: OpShiftLeft, Name: "shift_left", Arity: 1,
+		DstWidth: sameWidth,
+		Build:    func(w, n int) (*logic.Circuit, error) { return BuildShift(w, 1, true) },
+		Golden: func(args []uint64, w int) uint64 {
+			return (args[0] << 1) & widthMask(w)
+		},
+	})
+	register(Def{
+		Code: OpShiftRight, Name: "shift_right", Arity: 1,
+		DstWidth: sameWidth,
+		Build:    func(w, n int) (*logic.Circuit, error) { return BuildShift(w, 1, false) },
+		Golden: func(args []uint64, w int) uint64 {
+			return (args[0] & widthMask(w)) >> 1
+		},
+	})
+}

@@ -1,0 +1,120 @@
+package ops
+
+import "simdram/internal/logic"
+
+// Signed relational extensions. The paper's demonstration set uses
+// unsigned comparisons; signed variants come almost for free in the MAJ
+// substrate — a two's-complement a > b equals the unsigned comparison
+// with the result flipped when the sign bits differ:
+//
+//	a >ₛ b  =  (a >ᵤ b) XOR sign(a) XOR sign(b)
+//
+// These are registered beyond the paper set as "future work" operations
+// the framework supports without hardware changes (paper §5).
+
+func buildCompareSigned(w int, strict bool) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	b := c.InputBus("b", w)
+	unsigned := geCarry(c, a, b, strict)
+	res := c.Xor(unsigned, a[w-1], b[w-1])
+	name := "ge_s"
+	if strict {
+		name = "gt_s"
+	}
+	c.Output(res, name)
+	return c, nil
+}
+
+func signedGolden(strict bool) func(args []uint64, w int) uint64 {
+	return func(args []uint64, w int) uint64 {
+		sa := toSigned(args[0], w)
+		sb := toSigned(args[1], w)
+		if strict {
+			return b2u(sa > sb)
+		}
+		return b2u(sa >= sb)
+	}
+}
+
+// toSigned sign-extends a w-bit value.
+func toSigned(v uint64, w int) int64 {
+	v &= widthMask(w)
+	if signBit(v, w) {
+		return int64(v | ^widthMask(w))
+	}
+	return int64(v)
+}
+
+func init() {
+	register(Def{
+		Code: OpGreaterSigned, Name: "greater_signed", Arity: 2, Signed: true,
+		DstWidth: oneBit,
+		Build:    func(w, n int) (*logic.Circuit, error) { return buildCompareSigned(w, true) },
+		Golden:   signedGolden(true),
+	})
+	register(Def{
+		Code: OpGreaterEqualSigned, Name: "greater_equal_signed", Arity: 2, Signed: true,
+		DstWidth: oneBit,
+		Build:    func(w, n int) (*logic.Circuit, error) { return buildCompareSigned(w, false) },
+		Golden:   signedGolden(false),
+	})
+	register(Def{
+		Code: OpMaxSigned, Name: "max_signed", Arity: 2, Signed: true,
+		DstWidth: sameWidth,
+		Build:    func(w, n int) (*logic.Circuit, error) { return buildMinMaxSigned(w, true) },
+		Golden: func(args []uint64, w int) uint64 {
+			if toSigned(args[0], w) >= toSigned(args[1], w) {
+				return args[0] & widthMask(w)
+			}
+			return args[1] & widthMask(w)
+		},
+	})
+	register(Def{
+		Code: OpMinSigned, Name: "min_signed", Arity: 2, Signed: true,
+		DstWidth: sameWidth,
+		Build:    func(w, n int) (*logic.Circuit, error) { return buildMinMaxSigned(w, false) },
+		Golden: func(args []uint64, w int) uint64 {
+			if toSigned(args[0], w) <= toSigned(args[1], w) {
+				return args[0] & widthMask(w)
+			}
+			return args[1] & widthMask(w)
+		},
+	})
+}
+
+func init() {
+	register(Def{
+		Code: OpMod, Name: "modulo", Arity: 2,
+		DstWidth: sameWidth,
+		Build:    func(w, n int) (*logic.Circuit, error) { return buildMod(w) },
+		Golden: func(args []uint64, w int) uint64 {
+			a, b := args[0]&widthMask(w), args[1]&widthMask(w)
+			if b == 0 {
+				return a
+			}
+			return a % b
+		},
+	})
+}
+
+func buildMinMaxSigned(w int, max bool) (*logic.Circuit, error) {
+	if err := checkWidth(w); err != nil {
+		return nil, err
+	}
+	c := logic.New()
+	a := c.InputBus("a", w)
+	b := c.InputBus("b", w)
+	ge := c.Xor(geCarry(c, a, b, false), a[w-1], b[w-1]) // a >=ₛ b
+	var out []int
+	if max {
+		out = muxBus(c, ge, a, b)
+	} else {
+		out = muxBus(c, ge, b, a)
+	}
+	c.OutputBus(out, "y")
+	return c, nil
+}

@@ -1,0 +1,79 @@
+package reliability
+
+import "testing"
+
+func TestZeroVariationNeverFails(t *testing.T) {
+	for _, tech := range Nodes() {
+		res := SimulateTRA(tech, Variation{}, 20000, 1)
+		if res.Failures != 0 {
+			t.Errorf("%s: %d failures with zero variation", tech.Name, res.Failures)
+		}
+	}
+}
+
+func TestFailureRateMonotonicInVariation(t *testing.T) {
+	tech := Nodes()[0]
+	sigmas := []float64{0, 0.05, 0.10, 0.20, 0.35, 0.5}
+	results := Sweep(tech, sigmas, 25, 40000, 7)
+	prev := -1.0
+	for i, r := range results {
+		rate := r.FailureRate()
+		// Allow tiny Monte Carlo noise at neighboring levels.
+		if rate+0.002 < prev {
+			t.Errorf("failure rate decreased at σ=%.2f: %f after %f", sigmas[i], rate, prev)
+		}
+		if rate > prev {
+			prev = rate
+		}
+	}
+	if results[len(results)-1].FailureRate() == 0 {
+		t.Error("extreme variation should eventually cause failures")
+	}
+}
+
+func TestRealisticVariationIsSafe(t *testing.T) {
+	// The paper's conclusion: at realistic manufacturing variation
+	// (≈5% cell capacitance σ, small SA offset) TRA remains correct even
+	// at scaled nodes.
+	for _, tech := range Nodes() {
+		res := SimulateTRA(tech, Variation{CellSigma: 0.05, SASigmaMV: 5}, 50000, 11)
+		if rate := res.FailureRate(); rate > 1e-4 {
+			t.Errorf("%s: failure rate %f at realistic variation, want ~0", tech.Name, rate)
+		}
+	}
+}
+
+func TestSmallerNodesHaveSmallerMargins(t *testing.T) {
+	nodes := Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if SenseMarginMV(nodes[i]) >= SenseMarginMV(nodes[i-1]) {
+			t.Errorf("sense margin should shrink from %s to %s", nodes[i-1].Name, nodes[i].Name)
+		}
+	}
+	if SenseMarginMV(nodes[0]) <= 0 {
+		t.Error("sense margin must be positive")
+	}
+}
+
+func TestOperationFailureRate(t *testing.T) {
+	if got := OperationFailureRate(0, 100); got != 0 {
+		t.Errorf("perfect TRA gives %f, want 0", got)
+	}
+	if got := OperationFailureRate(0.01, 1); got < 0.0099999 || got > 0.0100001 {
+		t.Errorf("single TRA: %f, want 0.01", got)
+	}
+	two := OperationFailureRate(0.01, 2)
+	if two <= 0.01 || two >= 0.02 {
+		t.Errorf("two TRAs: %f, want in (0.01, 0.02)", two)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tech := Nodes()[2]
+	v := Variation{CellSigma: 0.2, SASigmaMV: 20}
+	a := SimulateTRA(tech, v, 10000, 42)
+	b := SimulateTRA(tech, v, 10000, 42)
+	if a != b {
+		t.Error("same seed must reproduce identical results")
+	}
+}

@@ -1,0 +1,108 @@
+package rowhammer
+
+import (
+	"strings"
+	"testing"
+
+	"simdram/internal/dram"
+	"simdram/internal/ops"
+	"simdram/internal/uprog"
+)
+
+func synth(t *testing.T, name string, width int) *uprog.Program {
+	t.Helper()
+	d, err := ops.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ops.SynthesizeCached(d, width, 3, ops.VariantSIMDRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Program
+}
+
+func TestComputeRowsAreHottest(t *testing.T) {
+	p := synth(t, "addition", 16)
+	rep := Analyze(p, dram.DDR4_2400())
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows analyzed")
+	}
+	if rep.Rows[0].Class != ClassCompute {
+		t.Errorf("hottest row is %v (%v), expected a compute-region row", rep.Rows[0].Ref, rep.Rows[0].Class)
+	}
+	// Activation conservation: per-exec counts must cover every command's
+	// activations (AAP:2+, AP:3, MajCopy:4+).
+	total := 0
+	for _, rs := range rep.Rows {
+		total += rs.ActsPerExec
+	}
+	minActs := 0
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case uprog.OpAAP:
+			minActs += 1 + len(op.Dsts)
+		case uprog.OpAP:
+			minActs += 3
+		case uprog.OpMajCopy:
+			minActs += 3 + len(op.Dsts)
+		}
+	}
+	if total != minActs {
+		t.Errorf("activation accounting: %d counted vs %d from commands", total, minActs)
+	}
+}
+
+func TestBackToBackComputeExceedsThreshold(t *testing.T) {
+	// The paper's motivation: sustained in-DRAM computation hammers the
+	// compute region far beyond the DDR4 threshold within one refresh
+	// window, so the design must protect the compute region's neighbors.
+	p := synth(t, "addition", 8)
+	rep := Analyze(p, dram.DDR4_2400())
+	if !rep.Exceeds(ThresholdDDR4) {
+		t.Errorf("back-to-back 8-bit addition reaches only %d acts/window; expected above the DDR4 threshold %d",
+			rep.MaxHammer(), ThresholdDDR4)
+	}
+	victims := rep.VictimRows(ThresholdDDR4)
+	if len(victims) == 0 {
+		t.Fatal("no victim rows at DDR4 threshold")
+	}
+	// Every row needing protection must be in the fixed compute region —
+	// that is what makes the paper's buffer-row mitigation sufficient.
+	for _, v := range victims {
+		if classify(v) == ClassData && v.Space != uprog.SpaceDst {
+			t.Errorf("operand data row %v exceeds threshold; mitigation assumes compute-region locality", v)
+		}
+	}
+	if rep.MitigationRefreshes(ThresholdDDR4) <= 0 {
+		t.Error("mitigation refresh count must be positive when the threshold is exceeded")
+	}
+}
+
+func TestLongProgramsHammerLess(t *testing.T) {
+	// Longer μPrograms execute fewer times per window, spreading their
+	// activations: multiplication's hottest row must hammer less than
+	// greater's (shortest program).
+	mul := Analyze(synth(t, "multiplication", 32), dram.DDR4_2400())
+	gt := Analyze(synth(t, "greater", 8), dram.DDR4_2400())
+	if mul.MaxHammer() >= gt.MaxHammer() {
+		t.Errorf("mul32 hottest %d should hammer less than greater/8 hottest %d",
+			mul.MaxHammer(), gt.MaxHammer())
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := Analyze(synth(t, "max", 8), dram.DDR4_2400())
+	s := rep.String()
+	for _, want := range []string{"rowhammer report", "acts/window", "compute"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestThresholdOrdering(t *testing.T) {
+	if !(ThresholdLPDD4 < ThresholdDDR4 && ThresholdDDR4 < ThresholdDDR3) {
+		t.Error("thresholds must shrink with technology scaling")
+	}
+}

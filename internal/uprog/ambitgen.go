@@ -1,0 +1,172 @@
+package uprog
+
+import (
+	"fmt"
+
+	"simdram/internal/mig"
+)
+
+// GenerateAmbit lowers a MIG using Ambit's canonical command sequences
+// (Seshadri et al., MICRO 2017), the in-DRAM baseline SIMDRAM compares
+// against. Every gate follows the fixed pattern
+//
+//	AAP(src1 → T0); AAP(src2 → T1); AAP(control → T2); MajCopy(TRA → out)
+//
+// where the final command activates the TRA group (computing the
+// majority) and then the output row, fusing compute and copy-out. NOT is
+// two AAPs through a dual-contact cell. Intermediates always round-trip
+// through data (scratch) rows — Ambit has no cross-gate operand-to-row
+// allocation, which is precisely the Step-2 optimization SIMDRAM adds.
+//
+// Materialized complements are cached per literal so shared NOTs (e.g. a
+// broadcast !sign) are paid once, matching how Ambit programs were
+// hand-written.
+func GenerateAmbit(m *mig.MIG, inputRefs, outputRefs []Ref, name string) (*Program, error) {
+	if len(inputRefs) != m.NumInputs() {
+		return nil, fmt.Errorf("uprog: %d input refs for %d MIG inputs", len(inputRefs), m.NumInputs())
+	}
+	if len(outputRefs) != len(m.Outputs()) {
+		return nil, fmt.Errorf("uprog: %d output refs for %d MIG outputs", len(outputRefs), len(m.Outputs()))
+	}
+	g := &ambitGen{
+		m:        m,
+		home:     make(map[mig.Lit]Ref),
+		refCount: make([]int, m.NumNodes()),
+	}
+	maxSrc, srcWidths, width, dstWidth := inferShape(inputRefs, outputRefs)
+	g.prog = &Program{Name: name, Width: width, SrcWidths: srcWidths, NumSrc: maxSrc, DstWidth: dstWidth}
+	g.home[mig.ConstFalse] = Ref{Space: SpaceC0}
+	g.home[mig.ConstTrue] = Ref{Space: SpaceC1}
+	for i, r := range inputRefs {
+		g.home[m.Input(i)] = r
+	}
+	if err := g.run(outputRefs); err != nil {
+		return nil, err
+	}
+	return g.prog, nil
+}
+
+type ambitGen struct {
+	m    *mig.MIG
+	prog *Program
+
+	home     map[mig.Lit]Ref // canonical data-row (or source) home per literal
+	refCount []int           // remaining reads per node, for scratch recycling
+
+	freeScratch []int
+	nextScratch int
+}
+
+func (g *ambitGen) allocScratch() Ref {
+	if n := len(g.freeScratch); n > 0 {
+		idx := g.freeScratch[n-1]
+		g.freeScratch = g.freeScratch[:n-1]
+		return Ref{Space: SpaceScratch, Idx: idx}
+	}
+	idx := g.nextScratch
+	g.nextScratch++
+	return Ref{Space: SpaceScratch, Idx: idx}
+}
+
+func (g *ambitGen) aap(src, dst Ref) {
+	g.prog.Ops = append(g.prog.Ops, MicroOp{Kind: OpAAP, Src: src, Dsts: []Ref{dst}})
+}
+
+// homeOf returns a data-row home for lit, materializing the complement
+// through a DCC pair if only the opposite polarity exists.
+func (g *ambitGen) homeOf(lit mig.Lit) (Ref, error) {
+	if r, ok := g.home[lit]; ok {
+		return r, nil
+	}
+	src, ok := g.home[lit.Not()]
+	if !ok {
+		return Ref{}, fmt.Errorf("uprog: ambit: literal %v has no home", lit)
+	}
+	// NOT: AAP(x → DCC0); AAP(DCC0N → fresh scratch row).
+	g.aap(src, Ref{Space: SpaceDCC, Idx: 0})
+	out := g.allocScratch()
+	g.aap(Ref{Space: SpaceDCCN, Idx: 0}, out)
+	g.home[lit] = out
+	return out, nil
+}
+
+func (g *ambitGen) release(node int) {
+	g.refCount[node]--
+	if g.refCount[node] > 0 {
+		return
+	}
+	for _, lit := range [2]mig.Lit{mig.MakeLit(node, false), mig.MakeLit(node, true)} {
+		if r, ok := g.home[lit]; ok && r.Space == SpaceScratch {
+			g.freeScratch = append(g.freeScratch, r.Idx)
+			delete(g.home, lit)
+		}
+	}
+}
+
+func (g *ambitGen) run(outputRefs []Ref) error {
+	outs := g.m.Outputs()
+	// Count reads: each fanin and each output reference.
+	for idx := g.m.NumInputs() + 1; idx < g.m.NumNodes(); idx++ {
+		a, b, c := g.m.Children(idx)
+		g.refCount[a.Node()]++
+		g.refCount[b.Node()]++
+		g.refCount[c.Node()]++
+	}
+	soleOutput := make(map[int]int) // MAJ node → output index when writable directly
+	for i, o := range outs {
+		g.refCount[o.Node()]++
+		// Only MAJ nodes are produced by a MajCopy; inputs and constants
+		// always go through the plain output-copy path.
+		if !o.Neg() && o.Node() > g.m.NumInputs() {
+			if _, dup := soleOutput[o.Node()]; !dup && g.refCount[o.Node()] == 1 {
+				soleOutput[o.Node()] = i
+			} else {
+				delete(soleOutput, o.Node())
+			}
+		}
+	}
+	for idx := g.m.NumInputs() + 1; idx < g.m.NumNodes(); idx++ {
+		if g.refCount[idx] == 0 {
+			continue // dead node
+		}
+		a, b, c := g.m.Children(idx)
+		for ti, child := range [3]mig.Lit{a, b, c} {
+			src, err := g.homeOf(child)
+			if err != nil {
+				return err
+			}
+			g.aap(src, Ref{Space: SpaceT, Idx: ti})
+		}
+		// Fused TRA + copy-out: directly to the destination when this node
+		// is exactly one positive output and nothing else reads it.
+		result := mig.MakeLit(idx, false)
+		var dst Ref
+		if oi, ok := soleOutput[idx]; ok {
+			dst = outputRefs[oi]
+		} else {
+			dst = g.allocScratch()
+			g.home[result] = dst
+		}
+		g.prog.Ops = append(g.prog.Ops, MicroOp{
+			Kind: OpMajCopy,
+			T:    [3]int{0, 1, 2},
+			Dsts: []Ref{dst},
+		})
+		g.release(a.Node())
+		g.release(b.Node())
+		g.release(c.Node())
+	}
+	// Remaining outputs (negated, shared, constants, passthroughs).
+	for i, o := range outs {
+		if oi, ok := soleOutput[o.Node()]; ok && oi == i && !o.Neg() {
+			continue // already written by the fused MajCopy
+		}
+		src, err := g.homeOf(o)
+		if err != nil {
+			return fmt.Errorf("uprog: ambit output %d: %w", i, err)
+		}
+		g.aap(src, outputRefs[i])
+	}
+	g.prog.NumScratch = g.nextScratch
+	return nil
+}

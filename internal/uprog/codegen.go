@@ -1,0 +1,628 @@
+package uprog
+
+import (
+	"fmt"
+
+	"simdram/internal/mig"
+)
+
+// CodegenOptions configures μProgram generation.
+type CodegenOptions struct {
+	Name        string
+	NumTRows    int // must be a positive multiple of 3
+	NumDCCPairs int
+	// ReuseRows enables SIMDRAM's allocation optimizations: values are
+	// tracked across T rows, DCC pairs and scratch so redundant copies are
+	// skipped, and dead values free their rows. Disabling it yields the
+	// naive one-MAJ-at-a-time schedule (the Step-2 ablation baseline).
+	ReuseRows bool
+}
+
+// DefaultCodegen returns options matching dram.PaperConfig.
+func DefaultCodegen(name string) CodegenOptions {
+	return CodegenOptions{Name: name, NumTRows: 6, NumDCCPairs: 2, ReuseRows: true}
+}
+
+// Generate lowers an MIG to a μProgram (SIMDRAM Step 2). inputRefs[i]
+// binds MIG input i to a symbolic row; outputRefs[i] receives MIG output
+// i. Width/NumSrc/DstWidth of the returned program are inferred from the
+// refs.
+func Generate(m *mig.MIG, inputRefs, outputRefs []Ref, opts CodegenOptions) (*Program, error) {
+	if len(inputRefs) != m.NumInputs() {
+		return nil, fmt.Errorf("uprog: %d input refs for %d MIG inputs", len(inputRefs), m.NumInputs())
+	}
+	if len(outputRefs) != len(m.Outputs()) {
+		return nil, fmt.Errorf("uprog: %d output refs for %d MIG outputs", len(outputRefs), len(m.Outputs()))
+	}
+	if opts.NumTRows < 3 || opts.NumTRows%3 != 0 {
+		return nil, fmt.Errorf("uprog: NumTRows must be a positive multiple of 3, have %d", opts.NumTRows)
+	}
+	if opts.NumDCCPairs < 1 {
+		return nil, fmt.Errorf("uprog: need at least one DCC pair")
+	}
+	g := newCodegen(m, inputRefs, outputRefs, opts)
+	if err := g.run(); err != nil {
+		return nil, err
+	}
+	return g.prog, nil
+}
+
+type codegen struct {
+	m    *mig.MIG
+	opts CodegenOptions
+	prog *Program
+
+	inputRefs  []Ref
+	outputRefs []Ref
+	outDone    []bool // outputs already written by fused MajCopy
+
+	uses []int // remaining references per node (fanins + outputs)
+
+	locs map[mig.Lit][]Ref // rows and read-only sources holding each literal
+
+	tHold  []mig.Lit
+	tValid []bool
+
+	dccHold  []mig.Lit // literal stored in the pair's true row
+	dccValid []bool
+	dccNext  int // round-robin victim pointer
+
+	scratchHold map[int]mig.Lit
+	freeScratch []int
+	nextScratch int
+
+	// pendingClob marks rows the in-flight computeNode is about to
+	// overwrite (the chosen TRA group): eviction decisions must not count
+	// them as surviving homes.
+	pendingClob map[Ref]bool
+}
+
+// inferShape derives operand count and per-operand widths from refs.
+func inferShape(inputRefs, outputRefs []Ref) (numSrc int, srcWidths []int, width, dstWidth int) {
+	for _, r := range inputRefs {
+		if r.Space == SpaceSrc && r.Op+1 > numSrc {
+			numSrc = r.Op + 1
+		}
+	}
+	srcWidths = make([]int, numSrc)
+	for _, r := range inputRefs {
+		if r.Space == SpaceSrc && r.Idx+1 > srcWidths[r.Op] {
+			srcWidths[r.Op] = r.Idx + 1
+		}
+	}
+	for _, w := range srcWidths {
+		if w > width {
+			width = w
+		}
+	}
+	for _, r := range outputRefs {
+		if r.Space == SpaceDst && r.Idx+1 > dstWidth {
+			dstWidth = r.Idx + 1
+		}
+	}
+	return numSrc, srcWidths, width, dstWidth
+}
+
+func newCodegen(m *mig.MIG, inputRefs, outputRefs []Ref, opts CodegenOptions) *codegen {
+	maxSrc, srcWidths, width, dstWidth := inferShape(inputRefs, outputRefs)
+	g := &codegen{
+		m:    m,
+		opts: opts,
+		prog: &Program{
+			Name:      opts.Name,
+			Width:     width,
+			SrcWidths: srcWidths,
+			NumSrc:    maxSrc,
+			DstWidth:  dstWidth,
+		},
+		inputRefs:   inputRefs,
+		outputRefs:  outputRefs,
+		outDone:     make([]bool, len(outputRefs)),
+		uses:        make([]int, m.NumNodes()),
+		locs:        make(map[mig.Lit][]Ref),
+		tHold:       make([]mig.Lit, opts.NumTRows),
+		tValid:      make([]bool, opts.NumTRows),
+		dccHold:     make([]mig.Lit, opts.NumDCCPairs),
+		dccValid:    make([]bool, opts.NumDCCPairs),
+		scratchHold: make(map[int]mig.Lit),
+	}
+	// Permanent sources: constants and inputs.
+	g.addLoc(mig.ConstFalse, Ref{Space: SpaceC0})
+	g.addLoc(mig.ConstTrue, Ref{Space: SpaceC1})
+	for i, r := range inputRefs {
+		g.addLoc(g.m.Input(i), r)
+	}
+	return g
+}
+
+func (g *codegen) run() error {
+	// Reference counting: every fanin and every output is one use.
+	for idx := g.m.NumInputs() + 1; idx < g.m.NumNodes(); idx++ {
+		a, b, c := g.m.Children(idx)
+		g.uses[a.Node()]++
+		g.uses[b.Node()]++
+		g.uses[c.Node()]++
+	}
+	for _, o := range g.m.Outputs() {
+		g.uses[o.Node()]++
+	}
+	for idx := g.m.NumInputs() + 1; idx < g.m.NumNodes(); idx++ {
+		if g.uses[idx] == 0 {
+			continue // dead node
+		}
+		if err := g.computeNode(idx); err != nil {
+			return err
+		}
+	}
+	for i, o := range g.m.Outputs() {
+		if g.outDone[i] {
+			continue // written by a fused MajCopy
+		}
+		if err := g.materialize(o, g.outputRefs[i]); err != nil {
+			return fmt.Errorf("uprog: output %d: %w", i, err)
+		}
+		g.release(o.Node())
+	}
+	g.prog.NumScratch = g.nextScratch
+	return nil
+}
+
+// --- location bookkeeping ---
+
+func (g *codegen) addLoc(lit mig.Lit, ref Ref) {
+	g.locs[lit] = append(g.locs[lit], ref)
+}
+
+func (g *codegen) removeLoc(lit mig.Lit, ref Ref) {
+	list := g.locs[lit]
+	for i, r := range list {
+		if r == ref {
+			list[i] = list[len(list)-1]
+			g.locs[lit] = list[:len(list)-1]
+			if len(g.locs[lit]) == 0 {
+				delete(g.locs, lit)
+			}
+			return
+		}
+	}
+}
+
+// clearRow forgets the current content of a writable row.
+func (g *codegen) clearRow(ref Ref) {
+	switch ref.Space {
+	case SpaceT:
+		if g.tValid[ref.Idx] {
+			g.removeLoc(g.tHold[ref.Idx], ref)
+			g.tValid[ref.Idx] = false
+		}
+	case SpaceScratch:
+		if lit, ok := g.scratchHold[ref.Idx]; ok {
+			g.removeLoc(lit, ref)
+			delete(g.scratchHold, ref.Idx)
+		}
+	case SpaceDCC, SpaceDCCN:
+		p := ref.Idx
+		if g.dccValid[p] {
+			g.removeLoc(g.dccHold[p], Ref{Space: SpaceDCC, Idx: p})
+			g.removeLoc(g.dccHold[p].Not(), Ref{Space: SpaceDCCN, Idx: p})
+			g.dccValid[p] = false
+		}
+	case SpaceDst:
+		// Destinations are write-only; nothing tracked.
+	default:
+		panic(fmt.Sprintf("uprog: clearRow on read-only space %v", ref.Space))
+	}
+}
+
+// setRow records that ref now holds lit (after clearRow).
+func (g *codegen) setRow(ref Ref, lit mig.Lit) {
+	switch ref.Space {
+	case SpaceT:
+		g.tHold[ref.Idx] = lit
+		g.tValid[ref.Idx] = true
+		g.addLoc(lit, ref)
+	case SpaceScratch:
+		g.scratchHold[ref.Idx] = lit
+		g.addLoc(lit, ref)
+	case SpaceDCC:
+		g.dccHold[ref.Idx] = lit
+		g.dccValid[ref.Idx] = true
+		g.addLoc(lit, Ref{Space: SpaceDCC, Idx: ref.Idx})
+		g.addLoc(lit.Not(), Ref{Space: SpaceDCCN, Idx: ref.Idx})
+	case SpaceDCCN:
+		// Writing the complement row stores the complement in the pair.
+		g.setRow(Ref{Space: SpaceDCC, Idx: ref.Idx}, lit.Not())
+	case SpaceDst:
+		// Not tracked.
+	default:
+		panic(fmt.Sprintf("uprog: setRow on read-only space %v", ref.Space))
+	}
+}
+
+func (g *codegen) emitAAP(src, dst Ref, lit mig.Lit) {
+	g.prog.Ops = append(g.prog.Ops, MicroOp{Kind: OpAAP, Src: src, Dsts: []Ref{dst}})
+	g.clearRow(dst)
+	g.setRow(dst, lit)
+}
+
+// findRow returns any row or source currently holding lit.
+func (g *codegen) findRow(lit mig.Lit) (Ref, bool) {
+	list := g.locs[lit]
+	if len(list) == 0 {
+		return Ref{}, false
+	}
+	// Prefer compute-region rows (cheapest to re-read is irrelevant; any
+	// single source works, but deterministic choice aids testing).
+	best := list[0]
+	for _, r := range list {
+		if r.Space == SpaceT {
+			return r, true
+		}
+		if best.Space == SpaceSrc && r.Space != SpaceSrc {
+			best = r
+		}
+	}
+	return best, true
+}
+
+// --- liveness and spilling ---
+
+// release drops one use of node and frees its rows when dead.
+func (g *codegen) release(node int) {
+	g.uses[node]--
+	if g.uses[node] > 0 {
+		return
+	}
+	for _, lit := range [2]mig.Lit{mig.MakeLit(node, false), mig.MakeLit(node, true)} {
+		list := append([]Ref(nil), g.locs[lit]...)
+		for _, ref := range list {
+			switch ref.Space {
+			case SpaceT, SpaceScratch, SpaceDCC, SpaceDCCN:
+				g.clearRow(ref)
+				if ref.Space == SpaceScratch {
+					g.freeScratch = append(g.freeScratch, ref.Idx)
+				}
+			}
+		}
+	}
+}
+
+// onlyHome reports whether every location of node (either polarity) is
+// inside clobbered.
+func (g *codegen) onlyHome(node int, clobbered map[Ref]bool) bool {
+	for _, lit := range [2]mig.Lit{mig.MakeLit(node, false), mig.MakeLit(node, true)} {
+		for _, ref := range g.locs[lit] {
+			if !clobbered[ref] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (g *codegen) allocScratch() int {
+	if n := len(g.freeScratch); n > 0 {
+		idx := g.freeScratch[n-1]
+		g.freeScratch = g.freeScratch[:n-1]
+		return idx
+	}
+	idx := g.nextScratch
+	g.nextScratch++
+	return idx
+}
+
+// spillNode copies one live copy of node to a fresh scratch row.
+func (g *codegen) spillNode(node int) error {
+	pos := mig.MakeLit(node, false)
+	lit := pos
+	src, ok := g.findRow(lit)
+	if !ok {
+		lit = pos.Not()
+		src, ok = g.findRow(lit)
+	}
+	if !ok {
+		return fmt.Errorf("uprog: internal: spill of node %d with no home", node)
+	}
+	dst := Ref{Space: SpaceScratch, Idx: g.allocScratch()}
+	g.emitAAP(src, dst, lit)
+	return nil
+}
+
+// --- DCC management ---
+
+// acquireDCC returns a DCC pair safe to overwrite, spilling live content.
+func (g *codegen) acquireDCC() (int, error) {
+	for p := 0; p < g.opts.NumDCCPairs; p++ {
+		if !g.dccValid[p] {
+			return p, nil
+		}
+	}
+	for p := 0; p < g.opts.NumDCCPairs; p++ {
+		if g.uses[g.dccHold[p].Node()] == 0 {
+			return p, nil
+		}
+	}
+	p := g.dccNext
+	g.dccNext = (g.dccNext + 1) % g.opts.NumDCCPairs
+	node := g.dccHold[p].Node()
+	clob := map[Ref]bool{
+		{Space: SpaceDCC, Idx: p}:  true,
+		{Space: SpaceDCCN, Idx: p}: true,
+	}
+	for r := range g.pendingClob {
+		clob[r] = true
+	}
+	if g.uses[node] > 0 && g.onlyHome(node, clob) {
+		if err := g.spillNode(node); err != nil {
+			return 0, err
+		}
+	}
+	return p, nil
+}
+
+// materialize copies lit into dst, deriving the complement through a
+// dual-contact cell pair when only the opposite polarity exists.
+func (g *codegen) materialize(lit mig.Lit, dst Ref) error {
+	if src, ok := g.findRow(lit); ok {
+		if src == dst {
+			return nil
+		}
+		g.emitAAP(src, dst, lit)
+		return nil
+	}
+	srcN, ok := g.findRow(lit.Not())
+	if !ok {
+		return fmt.Errorf("uprog: internal: literal %v has no home", lit)
+	}
+	p, err := g.acquireDCC()
+	if err != nil {
+		return err
+	}
+	// Copy !lit into the pair's true row; the complement row now reads lit.
+	g.emitAAP(srcN, Ref{Space: SpaceDCC, Idx: p}, lit.Not())
+	g.emitAAP(Ref{Space: SpaceDCCN, Idx: p}, dst, lit)
+	return nil
+}
+
+// --- node scheduling ---
+
+// groups returns the TRA groups as triples of T-row indices.
+func (g *codegen) groups() [][3]int {
+	n := g.opts.NumTRows / 3
+	out := make([][3]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = [3]int{3 * i, 3*i + 1, 3*i + 2}
+	}
+	return out
+}
+
+// groupCost estimates the AAPs needed to stage children into group rows.
+func (g *codegen) groupCost(rows [3]int, children [3]mig.Lit) int {
+	cost := 0
+	taken := map[int]bool{}
+	for _, ch := range children {
+		placed := false
+		for _, r := range rows {
+			if !taken[r] && g.tValid[r] && g.tHold[r] == ch {
+				taken[r] = true
+				placed = true
+				break
+			}
+		}
+		if placed {
+			continue
+		}
+		if _, ok := g.findRow(ch); ok {
+			cost++
+		} else {
+			cost += 2 // complement through a DCC pair
+		}
+	}
+	// Penalize clobbering live values whose only home is this group.
+	clob := map[Ref]bool{}
+	for _, r := range rows {
+		clob[Ref{Space: SpaceT, Idx: r}] = true
+	}
+	seen := map[int]bool{}
+	for _, r := range rows {
+		if !g.tValid[r] {
+			continue
+		}
+		node := g.tHold[r].Node()
+		if seen[node] {
+			continue
+		}
+		seen[node] = true
+		live := g.uses[node]
+		for _, ch := range children {
+			if ch.Node() == node {
+				live--
+			}
+		}
+		if live > 0 && g.onlyHome(node, clob) {
+			cost++
+		}
+	}
+	return cost
+}
+
+func (g *codegen) computeNode(idx int) error {
+	a, b, c := g.m.Children(idx)
+	children := [3]mig.Lit{a, b, c}
+
+	if !g.opts.ReuseRows {
+		return g.computeNodeNaive(idx, children)
+	}
+
+	// Choose the cheapest TRA group.
+	groups := g.groups()
+	best, bestCost := 0, int(1<<30)
+	for gi, rows := range groups {
+		if cost := g.groupCost(rows, children); cost < bestCost {
+			best, bestCost = gi, cost
+		}
+	}
+	rows := groups[best]
+
+	// Assign children to rows: keep children already in place.
+	assigned := [3]int{-1, -1, -1} // child index → T row
+	taken := map[int]bool{}
+	for ci, ch := range children {
+		for _, r := range rows {
+			if !taken[r] && g.tValid[r] && g.tHold[r] == ch {
+				assigned[ci] = r
+				taken[r] = true
+				break
+			}
+		}
+	}
+	var freeRows []int
+	for _, r := range rows {
+		if !taken[r] {
+			freeRows = append(freeRows, r)
+		}
+	}
+	for ci := range children {
+		if assigned[ci] == -1 {
+			assigned[ci] = freeRows[0]
+			freeRows = freeRows[1:]
+		}
+	}
+
+	clob := map[Ref]bool{}
+	for _, r := range rows {
+		clob[Ref{Space: SpaceT, Idx: r}] = true
+	}
+
+	// Spill live values that would lose their only home: either they sit
+	// in a row about to be overwritten, or (for this node's children with
+	// remaining uses) they are consumed by the AP itself.
+	seen := map[int]bool{}
+	for _, r := range rows {
+		if !g.tValid[r] {
+			continue
+		}
+		node := g.tHold[r].Node()
+		if seen[node] {
+			continue
+		}
+		seen[node] = true
+		live := g.uses[node]
+		for _, ch := range children {
+			if ch.Node() == node {
+				live--
+			}
+		}
+		if live > 0 && g.onlyHome(node, clob) {
+			if err := g.spillNode(node); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pre-copy sources that exist only inside rows this AP will overwrite
+	// (including rows about to receive other children).
+	writeTargets := map[Ref]bool{}
+	for ci, ch := range children {
+		r := Ref{Space: SpaceT, Idx: assigned[ci]}
+		if !(g.tValid[assigned[ci]] && g.tHold[assigned[ci]] == ch) {
+			writeTargets[r] = true
+		}
+	}
+	for _, ch := range children {
+		node := ch.Node()
+		if g.m.IsConst(node) || g.m.IsInput(node) {
+			continue
+		}
+		if g.onlyHome(node, writeTargets) {
+			if err := g.spillNode(node); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Stage missing children. DCC evictions during staging must treat the
+	// group rows as doomed (the AP overwrites them), so a value whose only
+	// other home is in this group still gets spilled.
+	g.pendingClob = clob
+	for ci, ch := range children {
+		r := assigned[ci]
+		if g.tValid[r] && g.tHold[r] == ch {
+			continue
+		}
+		if err := g.materialize(ch, Ref{Space: SpaceT, Idx: r}); err != nil {
+			g.pendingClob = nil
+			return fmt.Errorf("uprog: node %d child %v: %w", idx, ch, err)
+		}
+	}
+	g.pendingClob = nil
+
+	// Triple-row activation: all three rows now hold the majority. When
+	// this node is a pending primary output, fuse the copy-out into the
+	// activation (Ambit's AAP(TRA → dst) idiom): one command computes the
+	// majority and writes up to three destination rows.
+	result := mig.MakeLit(idx, false)
+	var fused []Ref
+	var fusedIdx []int
+	for oi, o := range g.m.Outputs() {
+		if !g.outDone[oi] && o == result && len(fused) < 3 {
+			fused = append(fused, g.outputRefs[oi])
+			fusedIdx = append(fusedIdx, oi)
+		}
+	}
+	if len(fused) > 0 {
+		g.prog.Ops = append(g.prog.Ops, MicroOp{Kind: OpMajCopy, T: rows, Dsts: fused})
+		for _, oi := range fusedIdx {
+			g.outDone[oi] = true
+		}
+	} else {
+		g.prog.Ops = append(g.prog.Ops, MicroOp{Kind: OpAP, T: rows})
+	}
+	for _, r := range rows {
+		ref := Ref{Space: SpaceT, Idx: r}
+		g.clearRow(ref)
+		g.setRow(ref, result)
+	}
+	for range fused {
+		g.release(idx) // each fused output consumed one use of this node
+	}
+
+	for _, ch := range children {
+		g.release(ch.Node())
+	}
+	return nil
+}
+
+// computeNodeNaive is the Step-2 ablation baseline: every MAJ copies its
+// three children in, activates, and persists the result to scratch, with
+// no cross-node row reuse.
+func (g *codegen) computeNodeNaive(idx int, children [3]mig.Lit) error {
+	rows := [3]int{0, 1, 2}
+	for ci, ch := range children {
+		tRef := Ref{Space: SpaceT, Idx: rows[ci]}
+		if src, ok := g.findRow(ch); ok {
+			g.emitAAP(src, tRef, ch)
+			continue
+		}
+		srcN, ok := g.findRow(ch.Not())
+		if !ok {
+			return fmt.Errorf("uprog: internal: literal %v has no home", ch)
+		}
+		g.emitAAP(srcN, Ref{Space: SpaceDCC, Idx: 0}, ch.Not())
+		g.emitAAP(Ref{Space: SpaceDCCN, Idx: 0}, tRef, ch)
+	}
+	g.prog.Ops = append(g.prog.Ops, MicroOp{Kind: OpAP, T: rows})
+	result := mig.MakeLit(idx, false)
+	for _, r := range rows {
+		ref := Ref{Space: SpaceT, Idx: r}
+		g.clearRow(ref)
+		g.setRow(ref, result)
+	}
+	// Persist to a dedicated scratch row.
+	dst := Ref{Space: SpaceScratch, Idx: g.allocScratch()}
+	g.emitAAP(Ref{Space: SpaceT, Idx: rows[0]}, dst, result)
+	for _, ch := range children {
+		g.release(ch.Node())
+	}
+	return nil
+}

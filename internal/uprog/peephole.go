@@ -1,0 +1,77 @@
+package uprog
+
+// OptimizeProgram removes dead scratch writes: AAP copies into scratch
+// rows that no later command reads before the row is overwritten (or the
+// program ends). The allocator spills conservatively — a value spilled
+// "just in case" may never be reloaded — and each removed command saves a
+// full AAP (~78 ns and two activations) on every subarray, every
+// execution. Returns the number of commands removed.
+//
+// The pass is a reverse liveness scan over the straight-line program,
+// iterated to a fixpoint because removing a dead write can kill the last
+// read of an earlier spill.
+func OptimizeProgram(p *Program) int {
+	totalRemoved := 0
+	for {
+		removed := removeDeadScratchWrites(p)
+		totalRemoved += removed
+		if removed == 0 {
+			return totalRemoved
+		}
+	}
+}
+
+func removeDeadScratchWrites(p *Program) int {
+	live := map[int]bool{} // scratch idx → read later
+	dead := map[int]bool{} // op index → removable
+	for i := len(p.Ops) - 1; i >= 0; i-- {
+		op := p.Ops[i]
+		// Writes first: a write is dead if nothing below reads the row;
+		// either way it kills liveness of earlier values in that row.
+		switch op.Kind {
+		case OpAAP:
+			if len(op.Dsts) == 1 && op.Dsts[0].Space == SpaceScratch {
+				if !live[op.Dsts[0].Idx] {
+					dead[i] = true
+					continue // a removed op also doesn't read its source
+				}
+				live[op.Dsts[0].Idx] = false
+			}
+		case OpMajCopy:
+			// MajCopy's TRA side effect on T rows is always meaningful to
+			// the codegen's state tracking; only prune scratch dsts when
+			// every destination is dead scratch AND the op can fall back
+			// to a plain AP.
+			allDeadScratch := len(op.Dsts) > 0
+			for _, d := range op.Dsts {
+				if d.Space != SpaceScratch || live[d.Idx] {
+					allDeadScratch = false
+				}
+			}
+			if allDeadScratch {
+				p.Ops[i] = MicroOp{Kind: OpAP, T: op.T}
+			} else {
+				for _, d := range op.Dsts {
+					if d.Space == SpaceScratch {
+						live[d.Idx] = false
+					}
+				}
+			}
+		}
+		// Reads.
+		if op.Kind == OpAAP && op.Src.Space == SpaceScratch {
+			live[op.Src.Idx] = true
+		}
+	}
+	if len(dead) == 0 {
+		return 0
+	}
+	kept := p.Ops[:0]
+	for i, op := range p.Ops {
+		if !dead[i] {
+			kept = append(kept, op)
+		}
+	}
+	p.Ops = kept
+	return len(dead)
+}

@@ -1,0 +1,107 @@
+package uprog
+
+import (
+	"math/rand"
+	"testing"
+
+	"simdram/internal/dram"
+)
+
+func TestDeadScratchWriteRemoved(t *testing.T) {
+	p := &Program{Name: "x", Width: 2, NumSrc: 1, DstWidth: 1, NumScratch: 2}
+	p.Ops = []MicroOp{
+		// Dead spill: written, never read.
+		{Kind: OpAAP, Src: Ref{Space: SpaceSrc, Op: 0, Idx: 0}, Dsts: []Ref{{Space: SpaceScratch, Idx: 0}}},
+		// Live spill: read below.
+		{Kind: OpAAP, Src: Ref{Space: SpaceSrc, Op: 0, Idx: 1}, Dsts: []Ref{{Space: SpaceScratch, Idx: 1}}},
+		{Kind: OpAAP, Src: Ref{Space: SpaceScratch, Idx: 1}, Dsts: []Ref{{Space: SpaceDst, Idx: 0}}},
+	}
+	removed := OptimizeProgram(p)
+	if removed != 1 {
+		t.Fatalf("removed %d ops, want 1", removed)
+	}
+	if len(p.Ops) != 2 {
+		t.Fatalf("program has %d ops, want 2", len(p.Ops))
+	}
+	if p.Ops[0].Dsts[0].Idx != 1 {
+		t.Error("wrong op removed")
+	}
+}
+
+func TestDeadChainRemovedTransitively(t *testing.T) {
+	// scratch0 feeds scratch1 which feeds nothing: both must go.
+	p := &Program{Name: "x", Width: 1, NumSrc: 1, DstWidth: 1, NumScratch: 2}
+	p.Ops = []MicroOp{
+		{Kind: OpAAP, Src: Ref{Space: SpaceSrc, Op: 0, Idx: 0}, Dsts: []Ref{{Space: SpaceScratch, Idx: 0}}},
+		{Kind: OpAAP, Src: Ref{Space: SpaceScratch, Idx: 0}, Dsts: []Ref{{Space: SpaceScratch, Idx: 1}}},
+		{Kind: OpAAP, Src: Ref{Space: SpaceSrc, Op: 0, Idx: 0}, Dsts: []Ref{{Space: SpaceDst, Idx: 0}}},
+	}
+	if removed := OptimizeProgram(p); removed != 2 {
+		t.Fatalf("removed %d ops, want 2 (transitive)", removed)
+	}
+}
+
+func TestOverwrittenSpillIsDead(t *testing.T) {
+	// scratch0 written, overwritten without a read, then read: the first
+	// write is dead, the second is live.
+	p := &Program{Name: "x", Width: 2, NumSrc: 1, DstWidth: 1, NumScratch: 1}
+	p.Ops = []MicroOp{
+		{Kind: OpAAP, Src: Ref{Space: SpaceSrc, Op: 0, Idx: 0}, Dsts: []Ref{{Space: SpaceScratch, Idx: 0}}},
+		{Kind: OpAAP, Src: Ref{Space: SpaceSrc, Op: 0, Idx: 1}, Dsts: []Ref{{Space: SpaceScratch, Idx: 0}}},
+		{Kind: OpAAP, Src: Ref{Space: SpaceScratch, Idx: 0}, Dsts: []Ref{{Space: SpaceDst, Idx: 0}}},
+	}
+	if removed := OptimizeProgram(p); removed != 1 {
+		t.Fatalf("removed %d ops, want 1", removed)
+	}
+	if p.Ops[0].Src.Idx != 1 {
+		t.Error("kept the wrong write")
+	}
+}
+
+func TestMajCopyWithDeadScratchBecomesAP(t *testing.T) {
+	p := &Program{Name: "x", Width: 1, NumSrc: 1, DstWidth: 1, NumScratch: 1}
+	p.Ops = []MicroOp{
+		{Kind: OpMajCopy, T: [3]int{0, 1, 2}, Dsts: []Ref{{Space: SpaceScratch, Idx: 0}}},
+		{Kind: OpAAP, Src: Ref{Space: SpaceT, Idx: 0}, Dsts: []Ref{{Space: SpaceDst, Idx: 0}}},
+	}
+	OptimizeProgram(p)
+	if p.Ops[0].Kind != OpAP {
+		t.Errorf("MajCopy with dead destination should fall back to AP, got %v", p.Ops[0].Kind)
+	}
+}
+
+// TestPeepholePreservesSemantics runs an adder program with and without
+// the peephole on identical data.
+func TestPeepholePreservesSemantics(t *testing.T) {
+	m := buildAdderMIG(t, 12)
+	in, out := stdRefs(12, 12)
+	raw, err := Generate(m, in, out, DefaultCodegen("add12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Generate(m, in, out, DefaultCodegen("add12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	OptimizeProgram(opt)
+	if len(opt.Ops) > len(raw.Ops) {
+		t.Fatal("peephole grew the program")
+	}
+	rng := rand.New(rand.NewSource(3))
+	av := make([]uint64, 100)
+	bv := make([]uint64, 100)
+	for i := range av {
+		av[i] = rng.Uint64() & 0xFFF
+		bv[i] = rng.Uint64() & 0xFFF
+	}
+	g1 := runOnSubarray(t, raw, 12, av, bv)
+	g2 := runOnSubarray(t, opt, 12, av, bv)
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("lane %d: raw %d optimized %d", i, g1[i], g2[i])
+		}
+	}
+	if err := opt.Validate(dram.TestConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package uprog
+
+import (
+	"fmt"
+
+	"simdram/internal/dram"
+)
+
+// Binding maps a μProgram's symbolic spaces onto physical rows of one
+// subarray. Source operand k occupies rows SrcBase[k]..SrcBase[k]+W-1
+// (bit i of every lane in row SrcBase[k]+i), and similarly for the
+// destination and scratch regions.
+type Binding struct {
+	SrcBase     []int
+	DstBase     int
+	ScratchBase int
+}
+
+// Resolve maps a symbolic reference to a physical row index.
+func (b Binding) Resolve(r Ref, sa *dram.Subarray) (int, error) {
+	switch r.Space {
+	case SpaceSrc:
+		if r.Op >= len(b.SrcBase) {
+			return 0, fmt.Errorf("uprog: binding has no base for operand %d", r.Op)
+		}
+		return b.SrcBase[r.Op] + r.Idx, nil
+	case SpaceDst:
+		return b.DstBase + r.Idx, nil
+	case SpaceScratch:
+		return b.ScratchBase + r.Idx, nil
+	case SpaceT:
+		return sa.TRow(r.Idx), nil
+	case SpaceDCC:
+		return sa.DCCRow(r.Idx), nil
+	case SpaceDCCN:
+		return sa.DCCNRow(r.Idx), nil
+	case SpaceC0:
+		return sa.C0Row(), nil
+	case SpaceC1:
+		return sa.C1Row(), nil
+	default:
+		return 0, fmt.Errorf("uprog: unknown space %v", r.Space)
+	}
+}
+
+// Validate checks that the binding's regions fit in the subarray's data
+// rows and do not overlap.
+func (b Binding) Validate(p *Program, cfg dram.Config) error {
+	type region struct {
+		name        string
+		start, size int
+	}
+	var regions []region
+	for k, base := range b.SrcBase {
+		regions = append(regions, region{fmt.Sprintf("src%d", k), base, p.SrcWidth(k)})
+	}
+	regions = append(regions, region{"dst", b.DstBase, p.DstWidth})
+	if p.NumScratch > 0 {
+		regions = append(regions, region{"scratch", b.ScratchBase, p.NumScratch})
+	}
+	for _, r := range regions {
+		if r.start < 0 || r.start+r.size > cfg.DataRows() {
+			return fmt.Errorf("uprog: region %s [%d,%d) outside data rows [0,%d)", r.name, r.start, r.start+r.size, cfg.DataRows())
+		}
+	}
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			a, c := regions[i], regions[j]
+			if a.start < c.start+c.size && c.start < a.start+a.size {
+				// Sources may alias each other (same operand twice) but
+				// nothing may alias the destination or scratch.
+				bothSrc := a.name[0] == 's' && c.name[0] == 's' && a.name != "scratch" && c.name != "scratch"
+				if !bothSrc {
+					return fmt.Errorf("uprog: regions %s and %s overlap", a.name, c.name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the μProgram on one subarray under the binding. The caller
+// is responsible for having loaded vertical operand data into the source
+// rows; results appear in the destination rows.
+func Run(p *Program, sa *dram.Subarray, b Binding) error {
+	if err := b.Validate(p, *sa.Config()); err != nil {
+		return err
+	}
+	for i, op := range p.Ops {
+		switch op.Kind {
+		case OpAAP:
+			src, err := b.Resolve(op.Src, sa)
+			if err != nil {
+				return fmt.Errorf("uprog: op %d: %w", i, err)
+			}
+			dsts := make([]int, len(op.Dsts))
+			for j, d := range op.Dsts {
+				if dsts[j], err = b.Resolve(d, sa); err != nil {
+					return fmt.Errorf("uprog: op %d: %w", i, err)
+				}
+			}
+			sa.AAP(src, dsts...)
+		case OpAP:
+			sa.AP(sa.TRow(op.T[0]), sa.TRow(op.T[1]), sa.TRow(op.T[2]))
+		case OpMajCopy:
+			dsts := make([]int, len(op.Dsts))
+			var err error
+			for j, d := range op.Dsts {
+				if dsts[j], err = b.Resolve(d, sa); err != nil {
+					return fmt.Errorf("uprog: op %d: %w", i, err)
+				}
+			}
+			sa.MajCopy(sa.TRow(op.T[0]), sa.TRow(op.T[1]), sa.TRow(op.T[2]), dsts...)
+		default:
+			return fmt.Errorf("uprog: op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}

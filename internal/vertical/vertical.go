@@ -1,0 +1,129 @@
+// Package vertical implements SIMDRAM's vertical data layout and the
+// memory-controller transposition unit.
+//
+// In the vertical layout all W bits of an element live in one DRAM column
+// (bitline): bit i of element j is stored in row base+i at column j. Bulk
+// in-DRAM computation requires this layout, while the CPU reads and
+// writes data horizontally; the transposition unit converts between the
+// two so both can coexist (SIMDRAM §4).
+package vertical
+
+import "fmt"
+
+// Transpose64x64 transposes a 64×64 bit matrix in place, treating a[i]
+// as row i. Standard recursive block-swap algorithm (Hacker's Delight
+// §7-3), 6 rounds of masked swaps.
+func Transpose64x64(a *[64]uint64) {
+	// Masked block swaps with LSB-first bit numbering: bit c of a[r] is
+	// matrix entry (r, c), and the swap exchanges the top-right block
+	// (high bits of low rows) with the bottom-left block (low bits of
+	// high rows) at every scale.
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; j >>= 1 {
+		for k := uint(0); k < 64; k = (k + j + 1) &^ j {
+			t := ((a[k] >> j) ^ a[k+j]) & m
+			a[k] ^= t << j
+			a[k+j] ^= t
+		}
+		m ^= m << (j >> 1)
+	}
+}
+
+// ToVertical converts horizontal values to the vertical layout.
+// vals[j] holds element j (width significant bits, LSB first). lanes is
+// the column count of the target rows (≥ len(vals), multiple of 64);
+// missing elements are zero. The result has width rows of lanes/64 words:
+// row i, column j holds bit i of element j.
+func ToVertical(vals []uint64, width, lanes int) ([][]uint64, error) {
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("vertical: width %d out of range [1,64]", width)
+	}
+	if lanes%64 != 0 || lanes < len(vals) {
+		return nil, fmt.Errorf("vertical: lanes %d must be a multiple of 64 and >= %d values", lanes, len(vals))
+	}
+	words := lanes / 64
+	rows := make([][]uint64, width)
+	backing := make([]uint64, width*words)
+	for i := range rows {
+		rows[i] = backing[i*words : (i+1)*words]
+	}
+	var block [64]uint64
+	mask := widthMask(width)
+	for w := 0; w < words; w++ {
+		for lane := 0; lane < 64; lane++ {
+			j := w*64 + lane
+			var v uint64
+			if j < len(vals) {
+				v = vals[j] & mask
+			}
+			// Element j becomes column lane of the block; place it as row
+			// lane so the transpose moves bit i to row i, column lane.
+			block[lane] = v
+		}
+		Transpose64x64(&block)
+		// After transposing, block[i] bit `lane` is bit... careful: the
+		// transpose maps row r, col c → row c, col r. We loaded element
+		// values as rows, so block[i] now holds bit i of... see note below.
+		for i := 0; i < width; i++ {
+			rows[i][w] = block[i]
+		}
+		for i := range block {
+			block[i] = 0
+		}
+	}
+	return rows, nil
+}
+
+// ToHorizontal is the inverse of ToVertical: it reads n elements of the
+// given width from vertical rows.
+func ToHorizontal(rows [][]uint64, width, n int) ([]uint64, error) {
+	if width < 1 || width > 64 || len(rows) < width {
+		return nil, fmt.Errorf("vertical: need %d rows, have %d", width, len(rows))
+	}
+	words := len(rows[0])
+	if n > words*64 {
+		return nil, fmt.Errorf("vertical: %d elements exceed %d lanes", n, words*64)
+	}
+	vals := make([]uint64, n)
+	var block [64]uint64
+	for w := 0; w*64 < n; w++ {
+		for i := range block {
+			block[i] = 0
+		}
+		for i := 0; i < width; i++ {
+			block[i] = rows[i][w]
+		}
+		Transpose64x64(&block)
+		for lane := 0; lane < 64; lane++ {
+			j := w*64 + lane
+			if j < n {
+				vals[j] = block[lane]
+			}
+		}
+	}
+	return vals, nil
+}
+
+// toVerticalNaive is the bit-at-a-time reference used by tests.
+func toVerticalNaive(vals []uint64, width, lanes int) [][]uint64 {
+	words := lanes / 64
+	rows := make([][]uint64, width)
+	for i := range rows {
+		rows[i] = make([]uint64, words)
+	}
+	for j, v := range vals {
+		for i := 0; i < width; i++ {
+			if (v>>uint(i))&1 == 1 {
+				rows[i][j/64] |= uint64(1) << uint(j%64)
+			}
+		}
+	}
+	return rows
+}
+
+func widthMask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(width)) - 1
+}

@@ -1,0 +1,189 @@
+package vertical
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTranspose64x64Involution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var a, orig [64]uint64
+	for i := range a {
+		a[i] = rng.Uint64()
+		orig[i] = a[i]
+	}
+	Transpose64x64(&a)
+	Transpose64x64(&a)
+	if a != orig {
+		t.Fatal("transpose twice must be the identity")
+	}
+}
+
+func TestTranspose64x64BitMapping(t *testing.T) {
+	var a [64]uint64
+	// Set bit (r=5, c=17).
+	a[5] = 1 << 17
+	Transpose64x64(&a)
+	if a[17] != 1<<5 {
+		t.Fatalf("bit (5,17) should map to (17,5); a[17]=%#x", a[17])
+	}
+}
+
+func TestToVerticalMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, width := range []int{1, 7, 8, 16, 31, 32, 63, 64} {
+		n := 100 + rng.Intn(200)
+		lanes := ((n + 63) / 64) * 64
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() & widthMask(width)
+		}
+		fast, err := ToVertical(vals, width, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := toVerticalNaive(vals, width, lanes)
+		for i := 0; i < width; i++ {
+			for w := range fast[i] {
+				if fast[i][w] != naive[i][w] {
+					t.Fatalf("width %d: row %d word %d: fast %#x naive %#x", width, i, w, fast[i][w], naive[i][w])
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(seed int64, widthRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := 1 + int(widthRaw)%64
+		n := 1 + rng.Intn(500)
+		lanes := ((n + 63) / 64) * 64
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() & widthMask(width)
+		}
+		rows, err := ToVertical(vals, width, lanes)
+		if err != nil {
+			return false
+		}
+		back, err := ToHorizontal(rows, width, n)
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if back[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToVerticalValidation(t *testing.T) {
+	if _, err := ToVertical(nil, 0, 64); err == nil {
+		t.Error("width 0 must error")
+	}
+	if _, err := ToVertical(nil, 65, 64); err == nil {
+		t.Error("width 65 must error")
+	}
+	if _, err := ToVertical(make([]uint64, 10), 8, 60); err == nil {
+		t.Error("non-multiple-of-64 lanes must error")
+	}
+	if _, err := ToVertical(make([]uint64, 100), 8, 64); err == nil {
+		t.Error("lanes < len(vals) must error")
+	}
+}
+
+func TestVerticalColumnSemantics(t *testing.T) {
+	// Element j must occupy column j: checking one element's bits land in
+	// consecutive rows at the same column.
+	vals := make([]uint64, 70)
+	vals[69] = 0b1011
+	rows, err := ToVertical(vals, 4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, word, bit := 69, 69/64, uint(69%64)
+	_ = col
+	for i, want := range []uint64{1, 1, 0, 1} {
+		got := (rows[i][word] >> bit) & 1
+		if got != want {
+			t.Fatalf("row %d column 69: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestUnitAccounting(t *testing.T) {
+	u := NewUnit(DefaultUnitConfig())
+	vals := make([]uint64, 256) // 256 × 4 B = 16 cache lines at width 32
+	_, err := u.HToV(1, vals, 32, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Stats.LinesTransposed != 16 {
+		t.Errorf("lines = %d, want 16", u.Stats.LinesTransposed)
+	}
+	if u.Stats.EnergyPJ <= 0 || u.Stats.LatencyNs <= 0 {
+		t.Error("unit must accrue cost")
+	}
+	// Re-transposing the same object hits the buffer.
+	_, err = u.HToV(1, vals, 32, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Stats.BufferHits != 16 {
+		t.Errorf("hits = %d, want 16", u.Stats.BufferHits)
+	}
+	if u.Stats.LinesTransposed != 16 {
+		t.Errorf("lines after hit = %d, want still 16", u.Stats.LinesTransposed)
+	}
+}
+
+func TestUnitBufferEviction(t *testing.T) {
+	cfg := DefaultUnitConfig()
+	cfg.BufferLines = 4
+	u := NewUnit(cfg)
+	vals := make([]uint64, 64) // 8 lines at width 64
+	if _, err := u.HToV(1, vals, 64, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.HToV(1, vals, 64, 64); err != nil {
+		t.Fatal(err)
+	}
+	// Only the last 4 lines fit; FIFO means all 8 miss again on repeat.
+	if u.Stats.BufferHits != 0 {
+		t.Errorf("hits = %d, want 0 with a 4-line buffer and 8-line object", u.Stats.BufferHits)
+	}
+}
+
+func BenchmarkTranspose64x64(b *testing.B) {
+	var a [64]uint64
+	rng := rand.New(rand.NewSource(1))
+	for i := range a {
+		a[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transpose64x64(&a)
+	}
+}
+
+func BenchmarkToVertical32bit1M(b *testing.B) {
+	vals := make([]uint64, 1<<20)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = rng.Uint64() & 0xFFFFFFFF
+	}
+	b.SetBytes(int64(len(vals) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ToVertical(vals, 32, len(vals)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

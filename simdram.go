@@ -1,0 +1,160 @@
+// Package simdram is an end-to-end implementation of SIMDRAM (Hajinazar,
+// Oliveira, et al., ASPLOS 2021): a framework for bit-serial SIMD
+// processing using DRAM.
+//
+// A System bundles a simulated DRAM module, the memory-controller
+// transposition unit, and the SIMDRAM control unit. Programs allocate
+// Vectors (whose elements live vertically: all bits of an element in one
+// DRAM column), store horizontal data into them (transparently
+// transposed), and invoke operations that execute entirely inside DRAM
+// subarrays via majority (triple-row activation) and row-copy commands:
+//
+//	sys, _ := simdram.New(simdram.DefaultConfig())
+//	a, _ := sys.AllocVector(1_000_000, 32)
+//	b, _ := sys.AllocVector(1_000_000, 32)
+//	dst, _ := sys.AllocVector(1_000_000, 32)
+//	a.Store(dataA)
+//	b.Store(dataB)
+//	stats, _ := sys.Run("addition", dst, a, b)
+//	sum, _ := dst.Load()
+//
+// The three framework steps of the paper map onto the packages this
+// facade wires together: Step 1 (MAJ/NOT synthesis) in internal/mig,
+// Step 2 (μProgram generation) in internal/uprog, Step 3 (execution) in
+// internal/ctrl on the internal/dram substrate.
+package simdram
+
+import (
+	"fmt"
+
+	"simdram/internal/ctrl"
+	"simdram/internal/dram"
+	"simdram/internal/ops"
+	"simdram/internal/vertical"
+)
+
+// Config configures a System.
+type Config struct {
+	DRAM          dram.Config
+	Transposition vertical.UnitConfig
+	// Variant selects the execution flavor: VariantSIMDRAM (default) or
+	// VariantAmbit for the in-DRAM baseline. Exposed for experiments.
+	Variant ops.Variant
+	// ReductionN is the operand count used when an N-ary operation is
+	// invoked through the 2-operand Run API with extra sources.
+	ReductionN int
+}
+
+// DefaultConfig returns a laptop-friendly geometry: 4 banks × 4 subarrays
+// of 512 rows × 8192 columns (8 MiB of simulated DRAM, 32768 SIMD lanes).
+func DefaultConfig() Config {
+	d := dram.PaperConfig()
+	d.Cols = 8192
+	d.SubarraysPerBank = 4
+	d.Banks = 4
+	return Config{
+		DRAM:          d,
+		Transposition: vertical.DefaultUnitConfig(),
+		Variant:       ops.VariantSIMDRAM,
+	}
+}
+
+// PaperConfig returns the paper's full geometry (16 banks × 16 subarrays
+// of 512 × 65536). Note this materializes 1 GiB of simulated DRAM; use it
+// for fidelity experiments, not unit tests.
+func PaperConfig() Config {
+	return Config{
+		DRAM:          dram.PaperConfig(),
+		Transposition: vertical.DefaultUnitConfig(),
+		Variant:       ops.VariantSIMDRAM,
+	}
+}
+
+// System is a CPU + SIMDRAM-enabled memory subsystem.
+type System struct {
+	cfg Config
+	mod *dram.Module
+	cu  *ctrl.Unit
+	tu  *vertical.Unit
+
+	// rows[bank][sub] allocates the subarray's data rows.
+	rows [][]*rowAlloc
+
+	objects    map[uint16]*Vector
+	nextHandle uint16
+}
+
+// New builds a System.
+func New(cfg Config) (*System, error) {
+	if err := cfg.DRAM.Validate(); err != nil {
+		return nil, err
+	}
+	mod, err := dram.NewModule(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:     cfg,
+		mod:     mod,
+		cu:      ctrl.New(mod, cfg.Variant),
+		tu:      vertical.NewUnit(cfg.Transposition),
+		objects: make(map[uint16]*Vector),
+	}
+	s.rows = make([][]*rowAlloc, cfg.DRAM.Banks)
+	for b := range s.rows {
+		s.rows[b] = make([]*rowAlloc, cfg.DRAM.SubarraysPerBank)
+		for sub := range s.rows[b] {
+			s.rows[b][sub] = newRowAlloc(cfg.DRAM.DataRows())
+		}
+	}
+	return s, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Module exposes the underlying DRAM module (for experiments and fault
+// injection).
+func (s *System) Module() *dram.Module { return s.mod }
+
+// TranspositionUnit exposes the transposition unit's statistics.
+func (s *System) TranspositionUnit() *vertical.Unit { return s.tu }
+
+// Lanes returns the total number of SIMD lanes (bitlines) that compute in
+// parallel across all banks.
+func (s *System) Lanes() int { return s.cfg.DRAM.Cols * s.cfg.DRAM.Banks }
+
+// segmentOrder maps segment index i to a (bank, subarray) pair,
+// bank-major so consecutive segments land in different banks and execute
+// in parallel.
+func (s *System) segmentOrder(i int) (bank, sub int) {
+	return i % s.cfg.DRAM.Banks, (i / s.cfg.DRAM.Banks) % s.cfg.DRAM.SubarraysPerBank
+}
+
+// Stats describes the cost of one operation or of the system so far.
+type Stats struct {
+	LatencyNs float64
+	EnergyPJ  float64
+	Commands  int64
+}
+
+// SystemStats returns cumulative control-unit and DRAM statistics.
+func (s *System) SystemStats() Stats {
+	cs := s.cu.Stats
+	return Stats{LatencyNs: cs.BusyNs, EnergyPJ: s.mod.Stats().EnergyPJ, Commands: cs.Commands}
+}
+
+// Operations lists the names of all available operations.
+func Operations() []string {
+	cat := ops.Catalog()
+	names := make([]string, len(cat))
+	for i, d := range cat {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// errorf is fmt.Errorf with the package prefix.
+func errorf(format string, args ...any) error {
+	return fmt.Errorf("simdram: "+format, args...)
+}

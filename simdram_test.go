@@ -1,0 +1,304 @@
+package simdram
+
+import (
+	"math/rand"
+	"testing"
+
+	"simdram/internal/isa"
+	"simdram/internal/ops"
+)
+
+func testSystem(t testing.TB) *System {
+	t.Helper()
+	cfg := DefaultConfig()
+	// Shrink for unit tests: 2 banks × 2 subarrays of 128 × 256.
+	cfg.DRAM.Cols = 256
+	cfg.DRAM.RowsPerSubarray = 128
+	cfg.DRAM.Banks = 2
+	cfg.DRAM.SubarraysPerBank = 2
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func randVals(rng *rand.Rand, n, width int) []uint64 {
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = (uint64(1) << uint(width)) - 1
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64() & mask
+	}
+	return out
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(1))
+	// Spans multiple segments: 600 elements > 256-column subarrays.
+	v, err := sys.AllocVector(600, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randVals(rng, 600, 16)
+	if err := v.Store(data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := v.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("element %d: stored %d loaded %d", i, data[i], back[i])
+		}
+	}
+	if sys.TranspositionUnit().Stats.LinesTransposed == 0 {
+		t.Error("store/load must route through the transposition unit")
+	}
+}
+
+func TestRunAdditionMultiSegment(t *testing.T) {
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(2))
+	n, w := 1000, 16
+	a, _ := sys.AllocVector(n, w)
+	b, _ := sys.AllocVector(n, w)
+	dst, err := sys.AllocVector(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av := randVals(rng, n, w)
+	bv := randVals(rng, n, w)
+	if err := a.Store(av); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Store(bv); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.Run("addition", dst, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LatencyNs <= 0 || st.EnergyPJ <= 0 || st.Commands <= 0 {
+		t.Errorf("stats not accounted: %+v", st)
+	}
+	got, err := dst.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := (av[i] + bv[i]) & 0xFFFF
+		if got[i] != want {
+			t.Fatalf("element %d: %d + %d = %d, want %d", i, av[i], bv[i], got[i], want)
+		}
+	}
+}
+
+func TestEveryOperationThroughPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, name := range Operations() {
+		sys := testSystem(t)
+		d, err := ops.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := 8
+		widths := d.SourceWidths(w, 3)
+		n := 300
+		srcs := make([]*Vector, len(widths))
+		vals := make([][]uint64, len(widths))
+		for k := range srcs {
+			srcs[k], err = sys.AllocVector(n, widths[k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals[k] = randVals(rng, n, widths[k])
+			if err := srcs[k].Store(vals[k]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, dw, err := Widths(name, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := sys.AllocVector(n, dw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(name, dst, srcs...); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := dst.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		args := make([]uint64, len(widths))
+		for i := 0; i < n; i++ {
+			for k := range args {
+				args[k] = vals[k][i]
+			}
+			want, err := Golden(name, w, args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want {
+				t.Fatalf("%s element %d args=%v: dram=%d golden=%d", name, i, args, got[i], want)
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sys := testSystem(t)
+	a, _ := sys.AllocVector(100, 16)
+	b, _ := sys.AllocVector(100, 16)
+	c8, _ := sys.AllocVector(100, 8)
+	dst, _ := sys.AllocVector(100, 16)
+
+	if _, err := sys.Run("bogus", dst, a, b); err == nil {
+		t.Error("unknown op must error")
+	}
+	if _, err := sys.Run("addition", dst, a); err == nil {
+		t.Error("wrong arity must error")
+	}
+	if _, err := sys.Run("addition", dst, a, c8); err == nil {
+		t.Error("mismatched source widths must error")
+	}
+	if _, err := sys.Run("addition", a, a, b); err == nil {
+		t.Error("dst aliasing src must error")
+	}
+	small, _ := sys.AllocVector(50, 16)
+	if _, err := sys.Run("addition", dst, a, small); err == nil {
+		t.Error("mismatched lengths must error")
+	}
+	d1, _ := sys.AllocVector(100, 1)
+	if _, err := sys.Run("addition", d1, a, b); err == nil {
+		t.Error("wrong destination width must error")
+	}
+	if _, err := sys.Run("greater", d1, a, b); err != nil {
+		t.Errorf("predicate into 1-bit vector should work: %v", err)
+	}
+	a.Free()
+	if _, err := sys.Run("addition", dst, a, b); err == nil {
+		t.Error("freed source must error")
+	}
+	if err := a.Store([]uint64{1}); err == nil {
+		t.Error("store to freed vector must error")
+	}
+}
+
+func TestAllocationExhaustion(t *testing.T) {
+	sys := testSystem(t)
+	// 112 data rows per subarray; 64-bit vectors of one segment burn 64
+	// rows in subarray (0,0): the second must fail there.
+	if _, err := sys.AllocVector(10, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AllocVector(10, 64); err == nil {
+		t.Error("expected out-of-rows error")
+	}
+}
+
+func TestExecBbopInstruction(t *testing.T) {
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(4))
+	n, w := 200, 8
+	a, _ := sys.AllocVector(n, w)
+	b, _ := sys.AllocVector(n, w)
+	dst, _ := sys.AllocVector(n, w)
+	av := randVals(rng, n, w)
+	bv := randVals(rng, n, w)
+	a.Store(av)
+	b.Store(bv)
+
+	// bbop_trsp_init then bbop_addition, round-tripped through encoding.
+	tr := isa.Instruction{Op: isa.OpTrspInit, Src: [3]uint16{a.Handle()}, Size: uint32(n), Width: uint8(w)}
+	dec, err := isa.Decode(tr.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Exec(dec); err != nil {
+		t.Fatal(err)
+	}
+	add := isa.Instruction{
+		Op:    isa.FromOp(ops.OpAdd),
+		Dst:   dst.Handle(),
+		Src:   [3]uint16{a.Handle(), b.Handle()},
+		Size:  uint32(n),
+		Width: uint8(w),
+	}
+	dec, err = isa.Decode(add.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Exec(dec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != (av[i]+bv[i])&0xFF {
+			t.Fatalf("element %d wrong", i)
+		}
+	}
+	// Unknown handle.
+	bad := add
+	bad.Dst = 999
+	if _, err := sys.Exec(bad); err == nil {
+		t.Error("unknown handle must error")
+	}
+}
+
+func TestAmbitVariantSystem(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DRAM.Cols = 256
+	cfg.DRAM.RowsPerSubarray = 128
+	cfg.DRAM.Banks = 1
+	cfg.DRAM.SubarraysPerBank = 1
+	cfg.Variant = ops.VariantAmbit
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	n, w := 100, 8
+	a, _ := sys.AllocVector(n, w)
+	b, _ := sys.AllocVector(n, w)
+	dst, _ := sys.AllocVector(n, w)
+	av := randVals(rng, n, w)
+	bv := randVals(rng, n, w)
+	a.Store(av)
+	b.Store(bv)
+	if _, err := sys.Run("addition", dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dst.Load()
+	for i := range got {
+		if got[i] != (av[i]+bv[i])&0xFF {
+			t.Fatalf("ambit element %d wrong", i)
+		}
+	}
+}
+
+func TestSystemStatsAccumulate(t *testing.T) {
+	sys := testSystem(t)
+	a, _ := sys.AllocVector(100, 8)
+	b, _ := sys.AllocVector(100, 8)
+	dst, _ := sys.AllocVector(100, 8)
+	a.Store(make([]uint64, 100))
+	b.Store(make([]uint64, 100))
+	before := sys.SystemStats()
+	if _, err := sys.Run("addition", dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	after := sys.SystemStats()
+	if after.Commands <= before.Commands || after.EnergyPJ <= before.EnergyPJ {
+		t.Error("system stats must accumulate")
+	}
+}

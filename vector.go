@@ -1,0 +1,175 @@
+package simdram
+
+// Vector is a SIMDRAM object: n elements of a given bit width stored in
+// the vertical layout across one or more subarrays. Element j of segment
+// i occupies column j of that subarray, bits in consecutive rows.
+type Vector struct {
+	sys    *System
+	handle uint16
+	n      int
+	width  int
+	segs   []segment
+	freed  bool
+	view   bool // aliases another vector's rows; Free releases nothing
+}
+
+type segment struct {
+	bank, sub int
+	baseRow   int
+	lanes     int // elements mapped to this subarray (≤ Cols)
+}
+
+// AllocVector reserves rows for n elements of the given width. Segments
+// are spread bank-major so that consecutive segments execute in parallel
+// banks. Vectors allocated in the same order with the same n share their
+// segment placement, which is what lets an operation's sources and
+// destination meet in the same subarrays.
+func (s *System) AllocVector(n, width int) (*Vector, error) {
+	if n <= 0 {
+		return nil, errorf("vector size must be positive, have %d", n)
+	}
+	if width < 1 || width > 64 {
+		return nil, errorf("width %d out of range [1,64]", width)
+	}
+	cols := s.cfg.DRAM.Cols
+	nSegs := (n + cols - 1) / cols
+	v := &Vector{sys: s, n: n, width: width}
+	remaining := n
+	for i := 0; i < nSegs; i++ {
+		bank, sub := s.segmentOrder(i)
+		base, ok := s.rows[bank][sub].alloc(width)
+		if !ok {
+			// Roll back what this vector already claimed.
+			for _, seg := range v.segs {
+				s.rows[seg.bank][seg.sub].release(seg.baseRow, width)
+			}
+			return nil, errorf("out of data rows in bank %d subarray %d (need %d rows)", bank, sub, width)
+		}
+		lanes := cols
+		if remaining < lanes {
+			lanes = remaining
+		}
+		remaining -= lanes
+		v.segs = append(v.segs, segment{bank: bank, sub: sub, baseRow: base, lanes: lanes})
+	}
+	s.nextHandle++
+	v.handle = s.nextHandle
+	s.objects[v.handle] = v
+	return v, nil
+}
+
+// Handle returns the object handle used in bbop instructions.
+func (v *Vector) Handle() uint16 { return v.handle }
+
+// Len returns the element count.
+func (v *Vector) Len() int { return v.n }
+
+// Width returns the element width in bits.
+func (v *Vector) Width() int { return v.width }
+
+// Free releases the vector's handle and returns its rows to the
+// subarray allocators for reuse. Freeing a View releases only the handle;
+// the underlying vector still owns the rows.
+func (v *Vector) Free() {
+	if v.freed {
+		return
+	}
+	if !v.view {
+		for _, seg := range v.segs {
+			v.sys.rows[seg.bank][seg.sub].release(seg.baseRow, v.width)
+		}
+	}
+	delete(v.sys.objects, v.handle)
+	v.freed = true
+}
+
+// View returns a read-only vector aliasing v's rows shifted up by
+// rowOffset: bit i of the view is bit i+rowOffset of v. In the vertical
+// layout this is the paper's free bit-shift (§2): reading element bits
+// starting at row base+k divides every element by 2^k with zero DRAM
+// commands — downstream operations simply read different row indices.
+// The view must stay inside v's rows (rowOffset+width ≤ v.Width()).
+func (v *Vector) View(rowOffset, width int) (*Vector, error) {
+	if v.freed {
+		return nil, errorf("view of freed vector")
+	}
+	if rowOffset < 0 || width < 1 || rowOffset+width > v.width {
+		return nil, errorf("view rows [%d,%d) outside vector width %d", rowOffset, rowOffset+width, v.width)
+	}
+	nv := &Vector{sys: v.sys, n: v.n, width: width, view: true}
+	for _, seg := range v.segs {
+		nv.segs = append(nv.segs, segment{
+			bank: seg.bank, sub: seg.sub,
+			baseRow: seg.baseRow + rowOffset,
+			lanes:   seg.lanes,
+		})
+	}
+	v.sys.nextHandle++
+	nv.handle = v.sys.nextHandle
+	v.sys.objects[nv.handle] = nv
+	return nv, nil
+}
+
+// Store writes horizontal data into the vector: the transposition unit
+// converts each subarray's chunk to the vertical layout and the rows are
+// written through the normal host path (so both the transposition and the
+// DRAM writes are accounted).
+func (v *Vector) Store(data []uint64) error {
+	if v.freed {
+		return errorf("store to freed vector")
+	}
+	if len(data) != v.n {
+		return errorf("store: vector holds %d elements, data has %d", v.n, len(data))
+	}
+	cols := v.sys.cfg.DRAM.Cols
+	off := 0
+	for _, seg := range v.segs {
+		chunk := data[off : off+seg.lanes]
+		off += seg.lanes
+		rows, err := v.sys.tu.HToV(uint64(v.handle), chunk, v.width, cols)
+		if err != nil {
+			return err
+		}
+		sa := v.sys.mod.Subarray(seg.bank, seg.sub)
+		for r := 0; r < v.width; r++ {
+			sa.WriteRow(seg.baseRow+r, rows[r])
+		}
+	}
+	return nil
+}
+
+// Load reads the vector back into horizontal form through the
+// transposition unit.
+func (v *Vector) Load() ([]uint64, error) {
+	if v.freed {
+		return nil, errorf("load from freed vector")
+	}
+	out := make([]uint64, 0, v.n)
+	for _, seg := range v.segs {
+		sa := v.sys.mod.Subarray(seg.bank, seg.sub)
+		rows := make([][]uint64, v.width)
+		for r := 0; r < v.width; r++ {
+			rows[r] = sa.ReadRow(seg.baseRow + r)
+		}
+		vals, err := v.sys.tu.VToH(uint64(v.handle), rows, v.width, seg.lanes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
+}
+
+// aligned reports whether two vectors share segment placement (same
+// subarray sequence), the precondition for in-DRAM computation.
+func (v *Vector) aligned(o *Vector) bool {
+	if len(v.segs) != len(o.segs) {
+		return false
+	}
+	for i := range v.segs {
+		if v.segs[i].bank != o.segs[i].bank || v.segs[i].sub != o.segs[i].sub || v.segs[i].lanes != o.segs[i].lanes {
+			return false
+		}
+	}
+	return true
+}

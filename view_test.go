@@ -1,0 +1,96 @@
+package simdram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestViewIsFreeRightShift(t *testing.T) {
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(21))
+	n, w, k := 300, 16, 3
+	a, err := sys.AllocVector(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randVals(rng, n, w)
+	if err := a.Store(data); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.SystemStats()
+	view, err := a.View(k, w-k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := sys.SystemStats(); after.Commands != before.Commands {
+		t.Error("creating a view must issue zero DRAM commands")
+	}
+	got, err := view.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if want := data[i] >> uint(k); got[i] != want {
+			t.Fatalf("element %d: view %d, want %d>>%d = %d", i, got[i], data[i], k, want)
+		}
+	}
+}
+
+func TestViewAsOperand(t *testing.T) {
+	// (a >> 2) + b computed with no shift μProgram at all: the addition
+	// simply reads a's rows starting two higher.
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(22))
+	n, w, k := 200, 16, 2
+	vw := w - k
+	a, _ := sys.AllocVector(n, w)
+	b, _ := sys.AllocVector(n, vw)
+	dst, _ := sys.AllocVector(n, vw)
+	av := randVals(rng, n, w)
+	bv := randVals(rng, n, vw)
+	a.Store(av)
+	b.Store(bv)
+	view, err := a.View(k, vw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run("addition", dst, view, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := uint64(1)<<uint(vw) - 1
+	for i := range got {
+		want := ((av[i] >> uint(k)) + bv[i]) & mask
+		if got[i] != want {
+			t.Fatalf("element %d: got %d want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestViewBoundsAndFree(t *testing.T) {
+	sys := testSystem(t)
+	a, _ := sys.AllocVector(100, 8)
+	if _, err := a.View(4, 8); err == nil {
+		t.Error("view beyond vector width must error")
+	}
+	if _, err := a.View(-1, 4); err == nil {
+		t.Error("negative offset must error")
+	}
+	v, err := a.View(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeing the view must not release a's rows: a is still loadable and
+	// a second identical allocation must not reuse its rows.
+	v.Free()
+	if err := a.Store(make([]uint64, 100)); err != nil {
+		t.Errorf("owner unusable after view freed: %v", err)
+	}
+	a.Free()
+	if _, err := a.View(0, 4); err == nil {
+		t.Error("view of freed vector must error")
+	}
+}
