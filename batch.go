@@ -1,0 +1,94 @@
+package simdram
+
+import (
+	"simdram/internal/ctrl"
+	"simdram/internal/isa"
+)
+
+// BatchStats describes the cost of an ExecBatch call. It mirrors
+// ctrl.BatchStats the way Stats mirrors ctrl.ExecStats — the facade
+// keeps internal types out of the public surface; keep the fields in
+// sync.
+type BatchStats struct {
+	Instructions int64
+	Commands     int64
+	// BusyNs is the serial-equivalent latency: what issuing the same
+	// program through Exec one instruction at a time would accumulate.
+	BusyNs float64
+	// CriticalPathNs is the overlap-aware latency: instructions whose
+	// segments share a bank serialize, bank-disjoint instructions
+	// overlap, and the batch completes when the last bank goes idle.
+	CriticalPathNs float64
+	EnergyPJ       float64
+}
+
+// Speedup returns the modeled gain of batched over serial issue.
+func (s BatchStats) Speedup() float64 {
+	if s.CriticalPathNs == 0 {
+		return 1
+	}
+	return s.BusyNs / s.CriticalPathNs
+}
+
+// ExecBatch executes a program of bbop instructions as one batch. The
+// ISA layer extracts the data-hazard graph (read-after-write,
+// write-after-write, write-after-read over object handles), and the
+// control unit's scheduler issues instructions whose hazards are
+// resolved concurrently on its persistent worker pool — instructions
+// touching disjoint (bank, subarray) sets overlap, dependent or
+// bank-sharing instructions serialize. Results are indistinguishable
+// from issuing the program through Exec in order; the returned stats
+// report both the serial-equivalent and the overlap-aware latency.
+//
+// On error the batch stops issuing: instructions already in flight
+// complete, later ones are skipped, and all failures are reported in one
+// joined error annotated with the instruction that caused them.
+func (s *System) ExecBatch(prog isa.Program) (BatchStats, error) {
+	if err := prog.Validate(); err != nil {
+		return BatchStats{}, err
+	}
+	deps := prog.Deps()
+	jobs := make([]ctrl.Job, 0, len(prog))
+	jobOf := make([]int, len(prog)) // instruction index → job index, -1 for trsp_init
+	for i, in := range prog {
+		if in.Op == isa.OpTrspInit {
+			if _, ok := s.objects[in.Src[0]]; !ok {
+				return BatchStats{}, errorf("instruction %d: bbop_trsp_init: unknown object %d", i, in.Src[0])
+			}
+			// trsp_init only validates the object (see Exec): it writes
+			// nothing, so dropping it from the job graph loses no hazard.
+			jobOf[i] = -1
+			continue
+		}
+		d, dst, srcs, err := s.resolve(in)
+		if err != nil {
+			return BatchStats{}, errorf("instruction %d (%s): %w", i, in, err)
+		}
+		p, segs, err := s.prepareOp(d, dst, srcs)
+		if err != nil {
+			return BatchStats{}, errorf("instruction %d (%s): %w", i, in, err)
+		}
+		var jdeps []int
+		for _, dep := range deps[i] {
+			if j := jobOf[dep]; j >= 0 {
+				jdeps = append(jdeps, j)
+			}
+		}
+		jobOf[i] = len(jobs)
+		jobs = append(jobs, ctrl.Job{Program: p, Segments: segs, Deps: jdeps})
+	}
+	if len(jobs) == 0 {
+		return BatchStats{}, nil // program of only trsp_init instructions
+	}
+	st, err := s.cu.ExecuteBatch(jobs)
+	if err != nil {
+		return BatchStats{}, err
+	}
+	return BatchStats{
+		Instructions:   st.Instructions,
+		Commands:       st.Commands,
+		BusyNs:         st.BusyNs,
+		CriticalPathNs: st.CriticalPathNs,
+		EnergyPJ:       st.EnergyPJ,
+	}, nil
+}

@@ -18,8 +18,10 @@ import (
 
 	"simdram"
 	"simdram/internal/baseline/cpu"
+	"simdram/internal/batchgen"
 	"simdram/internal/dram"
 	"simdram/internal/experiments"
+	"simdram/internal/isa"
 	"simdram/internal/kernels"
 	"simdram/internal/mig"
 	"simdram/internal/ops"
@@ -233,6 +235,7 @@ func BenchmarkSimulatorAdd32(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer sys.Close()
 	n := sys.Lanes()
 	rng := rand.New(rand.NewSource(1))
 	av := make([]uint64, n)
@@ -257,6 +260,56 @@ func BenchmarkSimulatorAdd32(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// setupBatchProgram builds the shared bank-spread workload (see
+// internal/batchgen): one independent addition per (bank, subarray) of
+// the default 4-bank geometry.
+func setupBatchProgram(b *testing.B) (*simdram.System, isa.Program) {
+	b.Helper()
+	sys, err := simdram.New(simdram.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := batchgen.Program(sys, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, prog
+}
+
+// BenchmarkExecSerial issues the batch program one instruction at a
+// time — the baseline the batched engine must beat.
+func BenchmarkExecSerial(b *testing.B) {
+	sys, prog := setupBatchProgram(b)
+	defer sys.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range prog {
+			if _, err := sys.Exec(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(prog))*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkExecBatch issues the same program through the batched
+// asynchronous engine: hazard analysis, then concurrent execution of
+// bank-disjoint instructions on the persistent worker pool.
+func BenchmarkExecBatch(b *testing.B) {
+	sys, prog := setupBatchProgram(b)
+	defer sys.Close()
+	b.ResetTimer()
+	var st simdram.BatchStats
+	var err error
+	for i := 0; i < b.N; i++ {
+		if st, err = sys.ExecBatch(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(prog))*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	b.ReportMetric(st.Speedup(), "modeled-speedup")
 }
 
 // BenchmarkSynthesis measures Step 1+2 cost for a representative set.
@@ -311,6 +364,7 @@ func BenchmarkKernelTPCH(b *testing.B) {
 		if _, _, err := kernels.TPCHQ6SIMDRAM(sys, table, p); err != nil {
 			b.Fatal(err)
 		}
+		sys.Close()
 	}
 }
 

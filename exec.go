@@ -22,48 +22,64 @@ func (s *System) Run(opName string, dst *Vector, srcs ...*Vector) (Stats, error)
 
 // RunOp is Run with an explicit operation definition.
 func (s *System) RunOp(d ops.Def, dst *Vector, srcs ...*Vector) (Stats, error) {
+	p, segs, err := s.prepareOp(d, dst, srcs)
+	if err != nil {
+		return Stats{}, err
+	}
+	st, err := s.cu.Execute(p, segs)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{LatencyNs: st.BusyNs, EnergyPJ: st.EnergyPJ, Commands: st.Commands}, nil
+}
+
+// prepareOp validates an operation invocation and resolves it to a
+// μProgram plus the per-subarray segment bindings — everything the
+// control unit needs to execute, shared by the serial (RunOp) and
+// batched (ExecBatch) paths.
+func (s *System) prepareOp(d ops.Def, dst *Vector, srcs []*Vector) (*uprog.Program, []ctrl.Segment, error) {
 	if len(srcs) == 0 {
-		return Stats{}, errorf("%s: no sources", d.Name)
+		return nil, nil, errorf("%s: no sources", d.Name)
 	}
 	arity := d.EffArity(len(srcs))
 	if len(srcs) != arity {
-		return Stats{}, errorf("%s: needs %d sources, have %d", d.Name, arity, len(srcs))
+		return nil, nil, errorf("%s: needs %d sources, have %d", d.Name, arity, len(srcs))
 	}
 	width := srcs[0].width
 	wantWidths := d.SourceWidths(width, len(srcs))
 	for k, src := range srcs {
 		if src.freed {
-			return Stats{}, errorf("%s: source %d freed", d.Name, k)
+			return nil, nil, errorf("%s: source %d freed", d.Name, k)
 		}
 		if src.width != wantWidths[k] {
-			return Stats{}, errorf("%s: source %d width %d, operation expects %d", d.Name, k, src.width, wantWidths[k])
+			return nil, nil, errorf("%s: source %d width %d, operation expects %d", d.Name, k, src.width, wantWidths[k])
 		}
 		if src.n != dst.n {
-			return Stats{}, errorf("%s: source %d has %d elements, dst %d", d.Name, k, src.n, dst.n)
+			return nil, nil, errorf("%s: source %d has %d elements, dst %d", d.Name, k, src.n, dst.n)
 		}
 		if !dst.aligned(src) {
-			return Stats{}, errorf("%s: source %d not segment-aligned with dst", d.Name, k)
+			return nil, nil, errorf("%s: source %d not segment-aligned with dst", d.Name, k)
 		}
 		if src == dst {
-			return Stats{}, errorf("%s: destination must not alias a source", d.Name)
+			return nil, nil, errorf("%s: destination must not alias a source", d.Name)
 		}
 	}
 	if dst.freed {
-		return Stats{}, errorf("%s: destination freed", d.Name)
+		return nil, nil, errorf("%s: destination freed", d.Name)
 	}
 	if want := d.DstWidth(width); dst.width != want {
-		return Stats{}, errorf("%s: destination width %d, operation produces %d", d.Name, dst.width, want)
+		return nil, nil, errorf("%s: destination width %d, operation produces %d", d.Name, dst.width, want)
 	}
 	p, err := s.cu.Program(d, width, len(srcs))
 	if err != nil {
-		return Stats{}, err
+		return nil, nil, err
 	}
 	dataRows := s.cfg.DRAM.DataRows()
 	segs := make([]ctrl.Segment, len(dst.segs))
 	for i := range dst.segs {
 		bank, sub := dst.segs[i].bank, dst.segs[i].sub
 		if s.rows[bank][sub].tailFree() < p.NumScratch {
-			return Stats{}, errorf("%s: subarray (%d,%d) lacks %d scratch rows", d.Name, bank, sub, p.NumScratch)
+			return nil, nil, errorf("%s: subarray (%d,%d) lacks %d scratch rows", d.Name, bank, sub, p.NumScratch)
 		}
 		b := uprog.Binding{
 			DstBase:     dst.segs[i].baseRow,
@@ -74,11 +90,7 @@ func (s *System) RunOp(d ops.Def, dst *Vector, srcs ...*Vector) (Stats, error) {
 		}
 		segs[i] = ctrl.Segment{Bank: bank, Sub: sub, Binding: b}
 	}
-	st, err := s.cu.Execute(p, segs)
-	if err != nil {
-		return Stats{}, err
-	}
-	return Stats{LatencyNs: st.BusyNs, EnergyPJ: st.EnergyPJ, Commands: st.Commands}, nil
+	return p, segs, nil
 }
 
 // Exec executes a decoded bbop instruction against the system's object
@@ -96,31 +108,41 @@ func (s *System) Exec(in isa.Instruction) (Stats, error) {
 		// validates the object.
 		return Stats{}, nil
 	}
-	code, err := in.Op.ToOp()
+	d, dst, srcs, err := s.resolve(in)
 	if err != nil {
 		return Stats{}, err
+	}
+	return s.RunOp(d, dst, srcs...)
+}
+
+// resolve maps an operation instruction's opcode and object handles onto
+// the operation definition and the live vectors they name.
+func (s *System) resolve(in isa.Instruction) (ops.Def, *Vector, []*Vector, error) {
+	code, err := in.Op.ToOp()
+	if err != nil {
+		return ops.Def{}, nil, nil, err
 	}
 	d, err := ops.ByCode(code)
 	if err != nil {
-		return Stats{}, err
+		return ops.Def{}, nil, nil, err
 	}
 	dst, ok := s.objects[in.Dst]
 	if !ok {
-		return Stats{}, errorf("bbop: unknown destination object %d", in.Dst)
+		return ops.Def{}, nil, nil, errorf("bbop: unknown destination object %d", in.Dst)
 	}
 	arity := d.EffArity(int(in.N))
 	if arity > 3 {
-		return Stats{}, errorf("bbop: ISA encodes at most 3 source objects, operation needs %d", arity)
+		return ops.Def{}, nil, nil, errorf("bbop: ISA encodes at most 3 source objects, operation needs %d", arity)
 	}
 	srcs := make([]*Vector, arity)
 	for k := 0; k < arity; k++ {
 		src, ok := s.objects[in.Src[k]]
 		if !ok {
-			return Stats{}, errorf("bbop: unknown source object %d", in.Src[k])
+			return ops.Def{}, nil, nil, errorf("bbop: unknown source object %d", in.Src[k])
 		}
 		srcs[k] = src
 	}
-	return s.RunOp(d, dst, srcs...)
+	return d, dst, srcs, nil
 }
 
 // Widths returns the source and destination element widths the named

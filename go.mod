@@ -1,0 +1,3 @@
+module simdram
+
+go 1.22

@@ -1,0 +1,52 @@
+// Package batchgen builds the bank-spread demo workload shared by the
+// ExecBatch benchmark and simdram-bench's -batch mode, so both measure
+// the same instruction stream.
+package batchgen
+
+import (
+	"math/rand"
+
+	"simdram"
+	"simdram/internal/isa"
+	"simdram/internal/ops"
+)
+
+// Program allocates one independent 8-bit addition per (bank, subarray)
+// of sys's geometry, operands spread with AllocVectorAt so every
+// instruction owns its own subarray — the shape ExecBatch is designed
+// to overlap and a serial Exec loop issues one at a time.
+func Program(sys *simdram.System, seed int64) (isa.Program, error) {
+	cfg := sys.Config()
+	rng := rand.New(rand.NewSource(seed))
+	n := cfg.DRAM.Cols
+	var prog isa.Program
+	for bank := 0; bank < cfg.DRAM.Banks; bank++ {
+		for sub := 0; sub < cfg.DRAM.SubarraysPerBank; sub++ {
+			vecs := make([]*simdram.Vector, 3)
+			for i := range vecs {
+				v, err := sys.AllocVectorAt(n, 8, bank, sub)
+				if err != nil {
+					return nil, err
+				}
+				vecs[i] = v
+			}
+			data := make([]uint64, n)
+			for _, v := range vecs[:2] {
+				for i := range data {
+					data[i] = uint64(rng.Uint32()) & 0xFF
+				}
+				if err := v.Store(data); err != nil {
+					return nil, err
+				}
+			}
+			prog = append(prog, isa.Instruction{
+				Op:    isa.FromOp(ops.OpAdd),
+				Dst:   vecs[2].Handle(),
+				Src:   [3]uint16{vecs[0].Handle(), vecs[1].Handle()},
+				Size:  uint32(n),
+				Width: 8,
+			})
+		}
+	}
+	return prog, nil
+}

@@ -10,7 +10,10 @@
 package ctrl
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
 
 	"simdram/internal/dram"
@@ -22,6 +25,9 @@ import (
 type Unit struct {
 	mod     *dram.Module
 	variant ops.Variant
+
+	mu      sync.Mutex // guards workers
+	workers *Pool
 
 	Stats ExecStats
 }
@@ -46,11 +52,47 @@ func (s *ExecStats) Add(other ExecStats) {
 // variant (VariantSIMDRAM for the paper's flow, VariantAmbit for the
 // in-DRAM baseline).
 func New(mod *dram.Module, variant ops.Variant) *Unit {
-	return &Unit{mod: mod, variant: variant}
+	u := &Unit{mod: mod, variant: variant}
+	// Idle pool workers reference only the Pool, not the Unit, so an
+	// abandoned Unit is collectable; this finalizer then shuts its pool
+	// down. Callers that create many units should still Close explicitly
+	// for deterministic reclamation.
+	runtime.SetFinalizer(u, (*Unit).Close)
+	return u
 }
 
 // Module returns the attached DRAM module.
 func (u *Unit) Module() *dram.Module { return u.mod }
+
+// pool returns the unit's persistent worker pool, starting it on first
+// use so units that never execute (analytic PerfModel runs, encoding
+// tests) cost no goroutines. Worker count is capped at the module's
+// subarray count — the maximum number of concurrently executable
+// groups — so small geometries on big hosts don't hold idle
+// goroutines.
+func (u *Unit) pool() *Pool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.workers == nil {
+		size := runtime.NumCPU()
+		if max := u.mod.NumBanks() * u.mod.SubarraysPerBank(); size > max {
+			size = max
+		}
+		u.workers = NewPool(size)
+	}
+	return u.workers
+}
+
+// Close stops the unit's worker pool and releases its goroutines. A
+// later Execute transparently starts a fresh pool.
+func (u *Unit) Close() {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.workers != nil {
+		u.workers.Close()
+		u.workers = nil
+	}
+}
 
 // Variant returns the synthesis variant this unit executes.
 func (u *Unit) Variant() ops.Variant { return u.variant }
@@ -72,31 +114,47 @@ type Segment struct {
 	Binding   uprog.Binding
 }
 
-// Execute runs the μProgram on every segment, functionally and with full
-// command accounting. In the modeled hardware, segments in distinct
-// banks proceed in parallel and segments within one bank serialize; in
-// the simulator, distinct subarrays are independent state, so their
-// functional execution runs on separate goroutines (serialized only when
-// two segments share a subarray).
-func (u *Unit) Execute(p *uprog.Program, segs []Segment) (ExecStats, error) {
-	if len(segs) == 0 {
-		return ExecStats{}, fmt.Errorf("ctrl: no segments to execute")
-	}
-	before := u.mod.Stats()
+// groupBySubarray buckets segments by their (bank, subarray) pair,
+// validating coordinates, and returns the groups in deterministic
+// bank-major order alongside the per-bank segment counts.
+func (u *Unit) groupBySubarray(segs []Segment) ([][]Segment, map[int]int, error) {
 	perBank := map[int]int{}
 	bySub := map[[2]int][]Segment{}
 	for _, seg := range segs {
 		if seg.Bank < 0 || seg.Bank >= u.mod.NumBanks() || seg.Sub < 0 || seg.Sub >= u.mod.SubarraysPerBank() {
-			return ExecStats{}, fmt.Errorf("ctrl: segment (%d,%d) out of range", seg.Bank, seg.Sub)
+			return nil, nil, fmt.Errorf("ctrl: segment (%d,%d) out of range", seg.Bank, seg.Sub)
 		}
 		bySub[[2]int{seg.Bank, seg.Sub}] = append(bySub[[2]int{seg.Bank, seg.Sub}], seg)
 		perBank[seg.Bank]++
 	}
+	keys := make([][2]int, 0, len(bySub))
+	for k := range bySub {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	groups := make([][]Segment, len(keys))
+	for i, k := range keys {
+		groups[i] = bySub[k]
+	}
+	return groups, perBank, nil
+}
+
+// runGroups executes the μProgram over each subarray group on the
+// persistent worker pool — one task per group, since distinct subarrays
+// are independent state — and joins every failure (not just the first).
+func (u *Unit) runGroups(p *uprog.Program, groups [][]Segment) error {
+	pool := u.pool()
 	var wg sync.WaitGroup
-	errs := make(chan error, len(bySub))
-	for _, group := range bySub {
+	errs := make(chan error, len(groups))
+	for _, group := range groups {
+		group := group
 		wg.Add(1)
-		go func(group []Segment) {
+		pool.Run(func() {
 			defer wg.Done()
 			for _, seg := range group {
 				sa := u.mod.Subarray(seg.Bank, seg.Sub)
@@ -105,24 +163,54 @@ func (u *Unit) Execute(p *uprog.Program, segs []Segment) (ExecStats, error) {
 					return
 				}
 			}
-		}(group)
+		})
 	}
 	wg.Wait()
 	close(errs)
-	if err := <-errs; err != nil {
-		return ExecStats{}, err
+	var all []error
+	for err := range errs {
+		all = append(all, err)
 	}
+	return errors.Join(all...)
+}
+
+// jobCost is the timing and command model for one instruction shared by
+// the serial (Execute) and batched (plan) paths: segments within one
+// bank serialize on the bank's row-command bandwidth, banks overlap.
+func (u *Unit) jobCost(p *uprog.Program, nSegs int, perBank map[int]int) (durNs float64, commands int64) {
 	maxPerBank := 0
-	for _, n := range perBank {
-		if n > maxPerBank {
-			maxPerBank = n
+	for _, c := range perBank {
+		if c > maxPerBank {
+			maxPerBank = c
 		}
 	}
+	return p.LatencyNs(u.mod.Config().Timing) * float64(maxPerBank), int64(len(p.Ops)) * int64(nSegs)
+}
+
+// Execute runs the μProgram on every segment, functionally and with full
+// command accounting. In the modeled hardware, segments in distinct
+// banks proceed in parallel and segments within one bank serialize; in
+// the simulator, distinct subarrays are independent state, so their
+// functional execution runs concurrently on the unit's persistent worker
+// pool (serialized only when two segments share a subarray).
+func (u *Unit) Execute(p *uprog.Program, segs []Segment) (ExecStats, error) {
+	if len(segs) == 0 {
+		return ExecStats{}, fmt.Errorf("ctrl: no segments to execute")
+	}
+	before := u.mod.Stats()
+	groups, perBank, err := u.groupBySubarray(segs)
+	if err != nil {
+		return ExecStats{}, err
+	}
+	if err := u.runGroups(p, groups); err != nil {
+		return ExecStats{}, err
+	}
+	durNs, commands := u.jobCost(p, len(segs), perBank)
 	delta := u.mod.Stats().Sub(before)
 	st := ExecStats{
 		Instructions: 1,
-		Commands:     int64(len(p.Ops)) * int64(len(segs)),
-		BusyNs:       p.LatencyNs(u.mod.Config().Timing) * float64(maxPerBank),
+		Commands:     commands,
+		BusyNs:       durNs,
 		EnergyPJ:     delta.EnergyPJ,
 	}
 	u.Stats.Add(st)
@@ -164,7 +252,7 @@ func (m PerfModel) EnergyPJ(p *uprog.Program, n int) float64 {
 	return p.EnergyPJ(m.Cfg.Energy) * float64(segments)
 }
 
-// ThroughputPerWatt returns operations per joule — the energy-efficiency
+// OpsPerJoule returns operations per joule — the energy-efficiency
 // metric the paper reports.
 func (m PerfModel) OpsPerJoule(p *uprog.Program) float64 {
 	perLane := p.EnergyPJ(m.Cfg.Energy) / float64(m.Cfg.Cols) // pJ per element

@@ -1,0 +1,262 @@
+package ctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"simdram/internal/uprog"
+)
+
+// Job is one bbop instruction resolved for batched execution: its
+// μProgram, the subarray segments it runs on, and the indices of earlier
+// jobs it must complete after (data hazards over the objects it touches,
+// computed by the ISA layer). Deps must refer to earlier jobs only
+// (every dep < the job's own index), which keeps the graph acyclic by
+// construction.
+type Job struct {
+	Program  *uprog.Program
+	Segments []Segment
+	Deps     []int
+}
+
+// BatchStats reports the cost of an ExecuteBatch call under the paper's
+// timing model.
+type BatchStats struct {
+	Instructions int64
+	Commands     int64
+	// BusyNs is the serial-equivalent latency: the sum of every
+	// instruction's own busy time, i.e. what a one-at-a-time Exec loop
+	// would accumulate.
+	BusyNs float64
+	// CriticalPathNs is the overlap-aware makespan: instructions whose
+	// segments share a bank serialize on that bank's row-command
+	// bandwidth, bank-disjoint instructions overlap, and the batch
+	// finishes when the last bank goes idle.
+	CriticalPathNs float64
+	EnergyPJ       float64
+}
+
+// Speedup returns the modeled gain of batched over serial issue.
+func (s BatchStats) Speedup() float64 {
+	if s.CriticalPathNs == 0 {
+		return 1
+	}
+	return s.BusyNs / s.CriticalPathNs
+}
+
+// batchPlan is the scheduler's precomputed view of a batch: per-job
+// subarray groups, the full constraint graph, and the deterministic
+// timing solution.
+type batchPlan struct {
+	groups [][][]Segment // job → subarray groups (each group one subarray)
+	preds  [][]int       // job → constraint predecessors (deps + subarray order)
+	durNs  []float64     // job → busy time on its busiest bank
+	finish []float64     // job → modeled completion time
+	busyNs float64
+	spanNs float64
+	nCmds  int64
+}
+
+// plan validates the jobs and computes the constraint graph and timing
+// model. Timing is resolved deterministically in program order — an
+// in-order dispatch greedy schedule — so batch latency never depends on
+// the host's dynamic goroutine interleaving: job i starts when its
+// hazard predecessors have finished and every bank it touches is free,
+// runs for its μProgram latency times the segment count on its busiest
+// bank, and occupies its banks until it finishes.
+func (u *Unit) plan(jobs []Job) (*batchPlan, error) {
+	n := len(jobs)
+	pl := &batchPlan{
+		groups: make([][][]Segment, n),
+		preds:  make([][]int, n),
+		durNs:  make([]float64, n),
+		finish: make([]float64, n),
+	}
+	lastOnSub := map[[2]int]int{} // subarray → last job that touched it
+	bankFree := map[int]float64{} // bank → time it goes idle
+	for i, job := range jobs {
+		if job.Program == nil || len(job.Segments) == 0 {
+			return nil, fmt.Errorf("ctrl: job %d has no program or segments", i)
+		}
+		groups, perBank, err := u.groupBySubarray(job.Segments)
+		if err != nil {
+			return nil, fmt.Errorf("ctrl: job %d: %w", i, err)
+		}
+		pl.groups[i] = groups
+		durNs, commands := u.jobCost(job.Program, len(job.Segments), perBank)
+		pl.durNs[i] = durNs
+		pl.nCmds += commands
+
+		// Constraint predecessors: declared data hazards plus program-order
+		// edges between jobs sharing a subarray (the simulator's state
+		// hazard; in hardware the same pair also serializes on the bank).
+		set := map[int]bool{}
+		for _, d := range job.Deps {
+			if d < 0 || d >= i {
+				return nil, fmt.Errorf("ctrl: job %d: dep %d is not an earlier job", i, d)
+			}
+			set[d] = true
+		}
+		for _, g := range groups {
+			key := [2]int{g[0].Bank, g[0].Sub}
+			if prev, ok := lastOnSub[key]; ok {
+				set[prev] = true
+			}
+		}
+		for d := range set {
+			pl.preds[i] = append(pl.preds[i], d)
+		}
+		for _, g := range groups {
+			lastOnSub[[2]int{g[0].Bank, g[0].Sub}] = i
+		}
+
+		// Timing: the job starts once its predecessors finish and its
+		// banks are free, then holds those banks for its duration.
+		start := 0.0
+		for _, d := range pl.preds[i] {
+			if pl.finish[d] > start {
+				start = pl.finish[d]
+			}
+		}
+		for b := range perBank {
+			if bankFree[b] > start {
+				start = bankFree[b]
+			}
+		}
+		pl.finish[i] = start + pl.durNs[i]
+		for b := range perBank {
+			bankFree[b] = pl.finish[i]
+		}
+		pl.busyNs += pl.durNs[i]
+		if pl.finish[i] > pl.spanNs {
+			pl.spanNs = pl.finish[i]
+		}
+	}
+	return pl, nil
+}
+
+// ExecuteBatch runs a dependency-ordered batch of jobs, overlapping jobs
+// whose constraints allow it. Functional execution dispatches at
+// (job, subarray-group) granularity onto the unit's persistent worker
+// pool: a job is issued as soon as every constraint predecessor has
+// completed, so bank-disjoint independent instructions execute
+// concurrently while hazards and shared subarrays serialize. Timing and
+// the modeled critical path come from the deterministic plan, not from
+// host scheduling.
+//
+// On error, issuing stops (fail-fast), in-flight work drains, and every
+// failure is reported via errors.Join; jobs not yet issued are skipped,
+// so DRAM state reflects a prefix-consistent subset of the batch.
+func (u *Unit) ExecuteBatch(jobs []Job) (BatchStats, error) {
+	if len(jobs) == 0 {
+		return BatchStats{}, fmt.Errorf("ctrl: empty batch")
+	}
+	pl, err := u.plan(jobs)
+	if err != nil {
+		return BatchStats{}, err
+	}
+	n := len(jobs)
+	succs := make([][]int, n)
+	indeg := make([]int, n)
+	for i, ps := range pl.preds {
+		indeg[i] = len(ps)
+		for _, p := range ps {
+			succs[p] = append(succs[p], i)
+		}
+	}
+	remaining := make([]int, n) // outstanding subarray groups per job
+	for i := range jobs {
+		remaining[i] = len(pl.groups[i])
+	}
+
+	type groupResult struct {
+		job      int
+		energyPJ float64
+		err      error
+	}
+	results := make(chan groupResult, pl.totalGroups())
+	pool := u.pool()
+	issue := func(id int) {
+		p := jobs[id].Program
+		for _, group := range pl.groups[id] {
+			group := group
+			pool.Run(func() {
+				// Only this worker touches this subarray right now (the
+				// constraint graph serializes same-subarray jobs), so its
+				// stats delta is race-free and attributable to this group.
+				sa := u.mod.Subarray(group[0].Bank, group[0].Sub)
+				before := sa.Stats
+				for _, seg := range group {
+					if err := uprog.Run(p, sa, seg.Binding); err != nil {
+						results <- groupResult{job: id, err: fmt.Errorf("ctrl: bank %d subarray %d: %w", seg.Bank, seg.Sub, err)}
+						return
+					}
+				}
+				results <- groupResult{job: id, energyPJ: sa.Stats.Sub(before).EnergyPJ}
+			})
+		}
+	}
+
+	var ready []int
+	for i := range jobs {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	var failures []error
+	var energyPJ float64
+	doneJobs, inflight := 0, 0
+	for doneJobs < n {
+		if len(failures) == 0 {
+			for _, id := range ready {
+				issue(id)
+				inflight += len(pl.groups[id])
+			}
+		}
+		ready = ready[:0]
+		if inflight == 0 {
+			break // fail-fast: nothing running, unissued jobs are skipped
+		}
+		r := <-results
+		inflight--
+		if r.err != nil {
+			failures = append(failures, r.err)
+		}
+		energyPJ += r.energyPJ
+		remaining[r.job]--
+		if remaining[r.job] == 0 {
+			doneJobs++
+			for _, s := range succs[r.job] {
+				indeg[s]--
+				if indeg[s] == 0 {
+					ready = append(ready, s)
+				}
+			}
+		}
+	}
+	if err := errors.Join(failures...); err != nil {
+		return BatchStats{}, err
+	}
+	st := BatchStats{
+		Instructions:   int64(n),
+		Commands:       pl.nCmds,
+		BusyNs:         pl.busyNs,
+		CriticalPathNs: pl.spanNs,
+		EnergyPJ:       energyPJ,
+	}
+	u.Stats.Add(ExecStats{
+		Instructions: st.Instructions,
+		Commands:     st.Commands,
+		BusyNs:       st.CriticalPathNs,
+		EnergyPJ:     st.EnergyPJ,
+	})
+	return st, nil
+}
+
+func (pl *batchPlan) totalGroups() int {
+	total := 0
+	for _, gs := range pl.groups {
+		total += len(gs)
+	}
+	return total
+}

@@ -1,0 +1,261 @@
+package ctrl
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"simdram/internal/dram"
+	"simdram/internal/ops"
+	"simdram/internal/uprog"
+	"simdram/internal/vertical"
+)
+
+// batchRig bundles a module, unit, and an 8-bit addition μProgram.
+type batchRig struct {
+	cfg  dram.Config
+	mod  *dram.Module
+	unit *Unit
+	prog *uprog.Program
+	w    int
+	bind uprog.Binding
+}
+
+func newBatchRig(t *testing.T) *batchRig {
+	t.Helper()
+	cfg := dram.TestConfig()
+	mod, err := dram.NewModule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := New(mod, ops.VariantSIMDRAM)
+	t.Cleanup(u.Close)
+	d, err := ops.ByName("addition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := 8
+	p, err := u.Program(d, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := uprog.Binding{SrcBase: []int{0, w}, DstBase: 2 * w, ScratchBase: 3 * w}
+	return &batchRig{cfg: cfg, mod: mod, unit: u, prog: p, w: w, bind: bind}
+}
+
+// seed fills the two source operands of one subarray with random bytes
+// and returns the expected per-lane sums.
+func (r *batchRig) seed(t *testing.T, rng *rand.Rand, bank, sub int) []uint64 {
+	t.Helper()
+	lanes := r.cfg.Cols
+	av := make([]uint64, lanes)
+	bv := make([]uint64, lanes)
+	want := make([]uint64, lanes)
+	for j := range av {
+		av[j] = rng.Uint64() & 0xFF
+		bv[j] = rng.Uint64() & 0xFF
+		want[j] = (av[j] + bv[j]) & 0xFF
+	}
+	ra, _ := vertical.ToVertical(av, r.w, lanes)
+	rb, _ := vertical.ToVertical(bv, r.w, lanes)
+	sa := r.mod.Subarray(bank, sub)
+	for row := 0; row < r.w; row++ {
+		sa.Poke(row, ra[row])
+		sa.Poke(r.w+row, rb[row])
+	}
+	return want
+}
+
+// checkDst verifies the destination rows of one subarray.
+func (r *batchRig) checkDst(t *testing.T, bank, sub, base int, want []uint64) {
+	t.Helper()
+	sa := r.mod.Subarray(bank, sub)
+	rows := make([][]uint64, r.w)
+	for row := 0; row < r.w; row++ {
+		rows[row] = sa.Peek(base + row)
+	}
+	got, err := vertical.ToHorizontal(rows, r.w, r.cfg.Cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("bank %d sub %d lane %d: got %d, want %d", bank, sub, j, got[j], want[j])
+		}
+	}
+}
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestExecuteBatchDisjointBanksOverlap(t *testing.T) {
+	r := newBatchRig(t)
+	rng := rand.New(rand.NewSource(7))
+	wantA := r.seed(t, rng, 0, 0)
+	wantB := r.seed(t, rng, 1, 0)
+	jobs := []Job{
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 0, Binding: r.bind}}},
+		{Program: r.prog, Segments: []Segment{{Bank: 1, Sub: 0, Binding: r.bind}}},
+	}
+	st, err := r.unit.ExecuteBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := r.prog.LatencyNs(r.cfg.Timing)
+	if !approx(st.BusyNs, 2*lat) {
+		t.Errorf("BusyNs = %f, want %f (serial-equivalent sum)", st.BusyNs, 2*lat)
+	}
+	if !approx(st.CriticalPathNs, lat) {
+		t.Errorf("CriticalPathNs = %f, want %f (bank-disjoint jobs overlap)", st.CriticalPathNs, lat)
+	}
+	if !approx(st.Speedup(), 2) {
+		t.Errorf("Speedup = %f, want 2", st.Speedup())
+	}
+	r.checkDst(t, 0, 0, r.bind.DstBase, wantA)
+	r.checkDst(t, 1, 0, r.bind.DstBase, wantB)
+}
+
+func TestExecuteBatchSameBankSerializes(t *testing.T) {
+	r := newBatchRig(t)
+	rng := rand.New(rand.NewSource(8))
+	wantA := r.seed(t, rng, 0, 0)
+	wantB := r.seed(t, rng, 0, 1)
+	jobs := []Job{
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 0, Binding: r.bind}}},
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 1, Binding: r.bind}}},
+	}
+	st, err := r.unit.ExecuteBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := r.prog.LatencyNs(r.cfg.Timing)
+	if !approx(st.CriticalPathNs, 2*lat) {
+		t.Errorf("CriticalPathNs = %f, want %f (same bank serializes)", st.CriticalPathNs, 2*lat)
+	}
+	if !approx(st.BusyNs, st.CriticalPathNs) {
+		t.Errorf("BusyNs %f != CriticalPathNs %f for fully serialized batch", st.BusyNs, st.CriticalPathNs)
+	}
+	r.checkDst(t, 0, 0, r.bind.DstBase, wantA)
+	r.checkDst(t, 0, 1, r.bind.DstBase, wantB)
+}
+
+// TestExecuteBatchRAWChain runs sum = a+b then chain = sum+sum' where the
+// second job's sources alias the first job's destination rows, in the
+// same subarray. Both the declared dependency and the subarray-order
+// constraint force serialization; the result must match sequential
+// semantics.
+func TestExecuteBatchRAWChain(t *testing.T) {
+	r := newBatchRig(t)
+	rng := rand.New(rand.NewSource(9))
+	want := r.seed(t, rng, 0, 0)
+	// Second job: dst2 = dst1 + dst1 (reads the rows job 0 writes).
+	bind2 := uprog.Binding{
+		SrcBase:     []int{r.bind.DstBase, r.bind.DstBase},
+		DstBase:     r.bind.DstBase + r.w,
+		ScratchBase: r.bind.DstBase + 2*r.w,
+	}
+	doubled := make([]uint64, len(want))
+	for j := range want {
+		doubled[j] = (2 * want[j]) & 0xFF
+	}
+	jobs := []Job{
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 0, Binding: r.bind}}},
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 0, Binding: bind2}}, Deps: []int{0}},
+	}
+	st, err := r.unit.ExecuteBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(st.CriticalPathNs, st.BusyNs) {
+		t.Errorf("dependent chain must serialize: critical path %f, busy %f", st.CriticalPathNs, st.BusyNs)
+	}
+	r.checkDst(t, 0, 0, r.bind.DstBase, want)
+	r.checkDst(t, 0, 0, bind2.DstBase, doubled)
+}
+
+func TestExecuteBatchRejectsForwardDeps(t *testing.T) {
+	r := newBatchRig(t)
+	jobs := []Job{
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 0, Binding: r.bind}}, Deps: []int{1}},
+		{Program: r.prog, Segments: []Segment{{Bank: 1, Sub: 0, Binding: r.bind}}},
+	}
+	if _, err := r.unit.ExecuteBatch(jobs); err == nil {
+		t.Error("forward dependency must be rejected")
+	}
+	if _, err := r.unit.ExecuteBatch(nil); err == nil {
+		t.Error("empty batch must be rejected")
+	}
+}
+
+// TestExecuteBatchJoinsErrors makes two independent jobs fail (bindings
+// point outside the data rows) and checks both failures surface.
+func TestExecuteBatchJoinsErrors(t *testing.T) {
+	r := newBatchRig(t)
+	bad := uprog.Binding{SrcBase: []int{1 << 20, 1 << 20}, DstBase: 0, ScratchBase: r.w}
+	jobs := []Job{
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 0, Binding: bad}}},
+		{Program: r.prog, Segments: []Segment{{Bank: 1, Sub: 0, Binding: bad}}},
+	}
+	_, err := r.unit.ExecuteBatch(jobs)
+	if err == nil {
+		t.Fatal("invalid bindings must fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "bank 0") || !strings.Contains(msg, "bank 1") {
+		t.Errorf("joined error must name both failing banks, got: %v", msg)
+	}
+}
+
+// TestExecuteBatchManyIndependent stresses the scheduler with one job
+// per subarray — useful under -race to exercise concurrent dispatch.
+func TestExecuteBatchManyIndependent(t *testing.T) {
+	r := newBatchRig(t)
+	rng := rand.New(rand.NewSource(10))
+	var jobs []Job
+	type key struct{ bank, sub int }
+	want := map[key][]uint64{}
+	for bank := 0; bank < r.cfg.Banks; bank++ {
+		for sub := 0; sub < r.cfg.SubarraysPerBank; sub++ {
+			want[key{bank, sub}] = r.seed(t, rng, bank, sub)
+			jobs = append(jobs, Job{Program: r.prog, Segments: []Segment{{Bank: bank, Sub: sub, Binding: r.bind}}})
+		}
+	}
+	st, err := r.unit.ExecuteBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := r.prog.LatencyNs(r.cfg.Timing)
+	wantSpan := lat * float64(r.cfg.SubarraysPerBank)
+	if !approx(st.CriticalPathNs, wantSpan) {
+		t.Errorf("CriticalPathNs = %f, want %f (per-bank serialization only)", st.CriticalPathNs, wantSpan)
+	}
+	if st.EnergyPJ <= 0 {
+		t.Error("batch must account energy")
+	}
+	for k, w := range want {
+		r.checkDst(t, k.bank, k.sub, r.bind.DstBase, w)
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	if p.Size() != 4 {
+		t.Errorf("Size = %d, want 4", p.Size())
+	}
+	results := make(chan int, 100)
+	for i := 0; i < 100; i++ {
+		i := i
+		p.Run(func() { results <- i })
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[<-results] = true
+	}
+	if len(seen) != 100 {
+		t.Errorf("ran %d distinct tasks, want 100", len(seen))
+	}
+	p.Close() // idempotent
+}

@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+
+	"simdram/internal/ops"
+)
+
+// Program is an ordered sequence of bbop instructions — the unit of work
+// the batched execution engine accepts. Program order defines the
+// sequential semantics; Deps extracts the data-hazard graph a scheduler
+// may exploit to overlap independent instructions while preserving those
+// semantics.
+type Program []Instruction
+
+// Validate checks every instruction in the program.
+func (p Program) Validate() error {
+	if len(p) == 0 {
+		return fmt.Errorf("isa: empty program")
+	}
+	for i, in := range p {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// EncodeProgram packs every instruction of the program.
+func EncodeProgram(p Program) []Encoded {
+	out := make([]Encoded, len(p))
+	for i, in := range p {
+		out[i] = in.Encode()
+	}
+	return out
+}
+
+// DecodeProgram unpacks a sequence of encoded instructions.
+func DecodeProgram(es []Encoded) (Program, error) {
+	p := make(Program, len(es))
+	for i, e := range es {
+		in, err := Decode(e)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		p[i] = in
+	}
+	return p, nil
+}
+
+// Reads returns the object handles the instruction reads. For operation
+// instructions that is the live source operands (the operation's
+// effective arity); bbop_trsp_init reads the object it announces. If the
+// opcode cannot be resolved, all three source slots are returned — a
+// conservative over-approximation that never drops a hazard.
+func (in Instruction) Reads() []uint16 {
+	if in.Op == OpTrspInit {
+		return []uint16{in.Src[0]}
+	}
+	arity := 3
+	if code, err := in.Op.ToOp(); err == nil {
+		if d, err := ops.ByCode(code); err == nil {
+			arity = d.EffArity(int(in.N))
+			if arity > 3 {
+				arity = 3
+			}
+		}
+	}
+	return append([]uint16(nil), in.Src[:arity]...)
+}
+
+// Writes returns the object handles the instruction writes:
+// the destination for operation instructions, nothing for
+// bbop_trsp_init.
+func (in Instruction) Writes() []uint16 {
+	if !in.Op.IsOperation() {
+		return nil
+	}
+	return []uint16{in.Dst}
+}
+
+// Deps returns, for each instruction, the (sorted, deduplicated) indices
+// of earlier instructions it must complete after. All three hazard
+// classes over object handles are covered:
+//
+//   - read-after-write: a source was written by an earlier instruction
+//   - write-after-write: the destination was written earlier
+//   - write-after-read: the destination is read by an earlier instruction
+//
+// Executing instructions in any order consistent with these edges is
+// indistinguishable from sequential program order.
+func (p Program) Deps() [][]int {
+	deps := make([][]int, len(p))
+	lastWriter := map[uint16]int{}     // handle → last instruction that wrote it
+	readersSince := map[uint16][]int{} // handle → readers since its last write
+	for i, in := range p {
+		set := map[int]bool{}
+		reads, writes := in.Reads(), in.Writes()
+		for _, h := range reads {
+			if w, ok := lastWriter[h]; ok {
+				set[w] = true // RAW
+			}
+		}
+		for _, h := range writes {
+			if w, ok := lastWriter[h]; ok {
+				set[w] = true // WAW
+			}
+			for _, r := range readersSince[h] {
+				set[r] = true // WAR
+			}
+		}
+		for _, h := range reads {
+			readersSince[h] = append(readersSince[h], i)
+		}
+		for _, h := range writes {
+			lastWriter[h] = i
+			readersSince[h] = nil
+		}
+		delete(set, i)
+		if len(set) > 0 {
+			out := make([]int, 0, len(set))
+			for d := range set {
+				out = append(out, d)
+			}
+			sort.Ints(out)
+			deps[i] = out
+		}
+	}
+	return deps
+}

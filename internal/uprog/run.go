@@ -82,6 +82,13 @@ func (b Binding) Validate(p *Program, cfg dram.Config) error {
 // Run executes the μProgram on one subarray under the binding. The caller
 // is responsible for having loaded vertical operand data into the source
 // rows; results appear in the destination rows.
+//
+// Reentrancy: Run is safe for concurrent use across *distinct*
+// subarrays. It mutates only the subarray it is given (row data and that
+// subarray's Stats); the Program is never written (programs come from
+// the synthesis cache and are shared across goroutines) and the Binding
+// is read-only. Two concurrent Runs on the same subarray race — the
+// ctrl scheduler serializes those.
 func Run(p *Program, sa *dram.Subarray, b Binding) error {
 	if err := b.Validate(p, *sa.Config()); err != nil {
 		return err

@@ -113,6 +113,11 @@ func New(cfg Config) (*System, error) {
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
 
+// Close releases the control unit's persistent worker pool. Long-lived
+// programs that create many Systems should Close each one when done;
+// execution after Close transparently restarts the pool.
+func (s *System) Close() { s.cu.Close() }
+
 // Module exposes the underlying DRAM module (for experiments and fault
 // injection).
 func (s *System) Module() *dram.Module { return s.mod }

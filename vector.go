@@ -25,6 +25,26 @@ type segment struct {
 // segment placement, which is what lets an operation's sources and
 // destination meet in the same subarrays.
 func (s *System) AllocVector(n, width int) (*Vector, error) {
+	return s.allocVector(n, width, 0)
+}
+
+// AllocVectorAt is AllocVector with an explicit starting placement: the
+// first segment lands in the given (bank, subarray) and later segments
+// continue the bank-major order from there. Operands of one operation
+// must share placement (allocate them with the same origin and length);
+// giving *different* origins to independent operand groups spreads them
+// across banks, which is what lets ExecBatch overlap their
+// instructions.
+func (s *System) AllocVectorAt(n, width, bank, sub int) (*Vector, error) {
+	if bank < 0 || bank >= s.cfg.DRAM.Banks || sub < 0 || sub >= s.cfg.DRAM.SubarraysPerBank {
+		return nil, errorf("placement (%d,%d) out of range", bank, sub)
+	}
+	return s.allocVector(n, width, bank+sub*s.cfg.DRAM.Banks)
+}
+
+// allocVector reserves rows starting at position origin of the
+// bank-major segment order.
+func (s *System) allocVector(n, width, origin int) (*Vector, error) {
 	if n <= 0 {
 		return nil, errorf("vector size must be positive, have %d", n)
 	}
@@ -36,7 +56,7 @@ func (s *System) AllocVector(n, width int) (*Vector, error) {
 	v := &Vector{sys: s, n: n, width: width}
 	remaining := n
 	for i := 0; i < nSegs; i++ {
-		bank, sub := s.segmentOrder(i)
+		bank, sub := s.segmentOrder(origin + i)
 		base, ok := s.rows[bank][sub].alloc(width)
 		if !ok {
 			// Roll back what this vector already claimed.
