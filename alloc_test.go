@@ -77,3 +77,58 @@ func TestRowAllocRandomizedInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestRowAllocFreeListProperty drives random alloc/release sequences
+// and checks the free list's structural invariants directly after every
+// step: intervals sorted by start, strictly disjoint, fully merged (no
+// two adjacent intervals), inside [0, limit), and conserving total rows
+// together with the live allocations.
+func TestRowAllocFreeListProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		limit := 32 + rng.Intn(224)
+		a := newRowAlloc(limit)
+		type block struct{ start, size int }
+		var live []block
+		for step := 0; step < 300; step++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				size := 1 + rng.Intn(24)
+				if start, ok := a.alloc(size); ok {
+					live = append(live, block{start, size})
+				}
+			} else {
+				// Release in random order so merges happen on both sides.
+				i := rng.Intn(len(live))
+				a.release(live[i].start, live[i].size)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			freeRows := 0
+			for i, iv := range a.free {
+				if iv[1] <= 0 {
+					t.Fatalf("trial %d step %d: empty interval %v", trial, step, iv)
+				}
+				if iv[0] < 0 || iv[0]+iv[1] > limit {
+					t.Fatalf("trial %d step %d: interval %v outside [0,%d)", trial, step, iv, limit)
+				}
+				if i > 0 {
+					prev := a.free[i-1]
+					if prev[0]+prev[1] > iv[0] {
+						t.Fatalf("trial %d step %d: unsorted/overlapping free list %v", trial, step, a.free)
+					}
+					if prev[0]+prev[1] == iv[0] {
+						t.Fatalf("trial %d step %d: unmerged adjacent intervals %v", trial, step, a.free)
+					}
+				}
+				freeRows += iv[1]
+			}
+			liveRows := 0
+			for _, b := range live {
+				liveRows += b.size
+			}
+			if freeRows+liveRows != limit {
+				t.Fatalf("trial %d step %d: %d free + %d live != %d total", trial, step, freeRows, liveRows, limit)
+			}
+		}
+	}
+}

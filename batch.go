@@ -44,8 +44,27 @@ func (s BatchStats) Speedup() float64 {
 // complete, later ones are skipped, and all failures are reported in one
 // joined error annotated with the instruction that caused them.
 func (s *System) ExecBatch(prog isa.Program) (BatchStats, error) {
-	if err := prog.Validate(); err != nil {
+	st, err := s.execBatch(prog, nil)
+	if err != nil {
 		return BatchStats{}, err
+	}
+	return BatchStats{
+		Instructions:   st.Instructions,
+		Commands:       st.Commands,
+		BusyNs:         st.BusyNs,
+		CriticalPathNs: st.CriticalPathNs,
+		EnergyPJ:       st.EnergyPJ,
+	}, nil
+}
+
+// execBatch is ExecBatch's engine, shared with the cluster facade: it
+// reports the control unit's own stats type (so per-channel results can
+// be merged without converting) and honors an external cancellation
+// signal (closed when a sibling channel fails — issuing stops, in-flight
+// instructions complete, later ones are skipped).
+func (s *System) execBatch(prog isa.Program, cancel <-chan struct{}) (ctrl.BatchStats, error) {
+	if err := prog.Validate(); err != nil {
+		return ctrl.BatchStats{}, err
 	}
 	deps := prog.Deps()
 	jobs := make([]ctrl.Job, 0, len(prog))
@@ -53,7 +72,7 @@ func (s *System) ExecBatch(prog isa.Program) (BatchStats, error) {
 	for i, in := range prog {
 		if in.Op == isa.OpTrspInit {
 			if _, ok := s.objects[in.Src[0]]; !ok {
-				return BatchStats{}, errorf("instruction %d: bbop_trsp_init: unknown object %d", i, in.Src[0])
+				return ctrl.BatchStats{}, errorf("instruction %d: bbop_trsp_init: unknown object %d", i, in.Src[0])
 			}
 			// trsp_init only validates the object (see Exec): it writes
 			// nothing, so dropping it from the job graph loses no hazard.
@@ -62,11 +81,11 @@ func (s *System) ExecBatch(prog isa.Program) (BatchStats, error) {
 		}
 		d, dst, srcs, err := s.resolve(in)
 		if err != nil {
-			return BatchStats{}, errorf("instruction %d (%s): %w", i, in, err)
+			return ctrl.BatchStats{}, errorf("instruction %d (%s): %w", i, in, err)
 		}
 		p, segs, err := s.prepareOp(d, dst, srcs)
 		if err != nil {
-			return BatchStats{}, errorf("instruction %d (%s): %w", i, in, err)
+			return ctrl.BatchStats{}, errorf("instruction %d (%s): %w", i, in, err)
 		}
 		var jdeps []int
 		for _, dep := range deps[i] {
@@ -78,17 +97,7 @@ func (s *System) ExecBatch(prog isa.Program) (BatchStats, error) {
 		jobs = append(jobs, ctrl.Job{Program: p, Segments: segs, Deps: jdeps})
 	}
 	if len(jobs) == 0 {
-		return BatchStats{}, nil // program of only trsp_init instructions
+		return ctrl.BatchStats{}, nil // program of only trsp_init instructions
 	}
-	st, err := s.cu.ExecuteBatch(jobs)
-	if err != nil {
-		return BatchStats{}, err
-	}
-	return BatchStats{
-		Instructions:   st.Instructions,
-		Commands:       st.Commands,
-		BusyNs:         st.BusyNs,
-		CriticalPathNs: st.CriticalPathNs,
-		EnergyPJ:       st.EnergyPJ,
-	}, nil
+	return s.cu.ExecuteBatchCancel(jobs, cancel)
 }

@@ -312,6 +312,64 @@ func BenchmarkExecBatch(b *testing.B) {
 	b.ReportMetric(st.Speedup(), "modeled-speedup")
 }
 
+// BenchmarkClusterExecBatch shards the bank-disjoint workload across a
+// 4-channel cluster: every channel holds one segment of every vector
+// and the channels execute their sub-batches concurrently. Compare the
+// reported cluster-critical-path-ns against
+// BenchmarkClusterSingleSystem's serial-equivalent-ns: the acceptance
+// target is < 0.35×.
+func BenchmarkClusterExecBatch(b *testing.B) {
+	const channels = 4
+	c, err := simdram.NewCluster(simdram.DefaultClusterConfig(channels))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	prog, err := batchgen.ClusterProgram(c, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var st simdram.ClusterBatchStats
+	for i := 0; i < b.N; i++ {
+		if st, err = c.ExecBatch(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(prog))*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	b.ReportMetric(st.CriticalPathNs, "cluster-critical-path-ns")
+	b.ReportMetric(st.Speedup(), "modeled-speedup")
+	b.ReportMetric(st.UtilizationSkew(), "utilization-skew")
+}
+
+// BenchmarkClusterSingleSystem runs the identical total workload (same
+// element counts, same instruction stream) on one System — the
+// single-channel baseline of the cluster benchmark pair. Its
+// serial-equivalent-ns metric is the denominator of the cluster
+// scaling ratio.
+func BenchmarkClusterSingleSystem(b *testing.B) {
+	const channels = 4
+	sys, err := simdram.New(simdram.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	prog, err := batchgen.ProgramScaled(sys, 2, channels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var st simdram.BatchStats
+	for i := 0; i < b.N; i++ {
+		if st, err = sys.ExecBatch(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(prog))*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	b.ReportMetric(st.BusyNs, "serial-equivalent-ns")
+	b.ReportMetric(st.CriticalPathNs, "critical-path-ns")
+}
+
 // BenchmarkSynthesis measures Step 1+2 cost for a representative set.
 func BenchmarkSynthesis(b *testing.B) {
 	for _, name := range []string{"addition", "greater", "multiplication"} {

@@ -1,0 +1,471 @@
+package simdram
+
+import (
+	"simdram/internal/cluster"
+	"simdram/internal/ctrl"
+	"simdram/internal/isa"
+	"simdram/internal/ops"
+)
+
+// ClusterConfig configures a Cluster: how many independent channels it
+// owns, the geometry of each, and the default placement policy new
+// sharded vectors stripe with.
+type ClusterConfig struct {
+	// Channels is the number of independent channels. Each channel is a
+	// full System — its own DRAM module, control unit, transposition
+	// unit, and worker pool — so channels execute truly concurrently.
+	Channels int
+	// Channel configures every channel's System.
+	Channel Config
+	// Placement selects the default allocation policy.
+	Placement PlacementPolicy
+}
+
+// PlacementPolicy selects how AllocShardedVector stripes elements
+// across channels.
+type PlacementPolicy int
+
+const (
+	// PlaceRoundRobin stripes every allocation across all channels in
+	// fixed index order. Same-length vectors always share a plan, so
+	// operand groups stay shard-aligned without further care — the
+	// right default for compute-heavy programs.
+	PlaceRoundRobin PlacementPolicy = iota
+	// PlaceLeastLoaded orders channels by ascending allocated rows, so
+	// lightly used channels absorb the larger chunks. Every allocation
+	// changes the load it orders by, so even consecutive same-length
+	// allocations can receive different plans; operand groups that must
+	// meet in an operation should be allocated with AllocShardedGroup
+	// (one load snapshot, one shared plan) or with explicit affinity.
+	PlaceLeastLoaded
+)
+
+// DefaultClusterConfig returns a cluster of n default-geometry channels
+// with round-robin placement.
+func DefaultClusterConfig(n int) ClusterConfig {
+	return ClusterConfig{Channels: n, Channel: DefaultConfig(), Placement: PlaceRoundRobin}
+}
+
+// Cluster aggregates N independent channels into one compute fabric
+// with a single address space: ShardedVectors stripe their elements
+// across channels, Store/Load scatter and gather through the per-channel
+// transposition units concurrently, and ExecBatch fans a program out to
+// every channel in parallel, merging the results under an honest timing
+// model (per-channel critical paths combine as a max, work and energy
+// as sums).
+type Cluster struct {
+	cfg      ClusterConfig
+	channels []*System
+	policy   cluster.Policy
+	objects  map[uint16]*ShardedVector
+	handles  handleSpace
+}
+
+// NewCluster builds a cluster of cfg.Channels independent channels.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Channels < 1 {
+		return nil, errorf("cluster needs at least 1 channel, have %d", cfg.Channels)
+	}
+	var policy cluster.Policy
+	switch cfg.Placement {
+	case PlaceRoundRobin:
+		policy = cluster.RoundRobin{}
+	case PlaceLeastLoaded:
+		policy = cluster.LeastLoaded{}
+	default:
+		return nil, errorf("unknown placement policy %d", cfg.Placement)
+	}
+	c := &Cluster{cfg: cfg, policy: policy, objects: make(map[uint16]*ShardedVector)}
+	for i := 0; i < cfg.Channels; i++ {
+		sys, err := New(cfg.Channel)
+		if err != nil {
+			c.Close()
+			return nil, errorf("channel %d: %w", i, err)
+		}
+		c.channels = append(c.channels, sys)
+	}
+	return c, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() ClusterConfig { return c.cfg }
+
+// Channels returns the number of channels.
+func (c *Cluster) Channels() int { return len(c.channels) }
+
+// Channel exposes one channel's System (for experiments and fault
+// injection). Mutating a channel's allocations directly can starve the
+// cluster's own vectors; use with care.
+func (c *Cluster) Channel(i int) *System { return c.channels[i] }
+
+// Close releases every channel's worker pool.
+func (c *Cluster) Close() {
+	for _, sys := range c.channels {
+		sys.Close()
+	}
+}
+
+// loads returns the per-channel allocated-row counts policies shard
+// against.
+func (c *Cluster) loads() []int {
+	loads := make([]int, len(c.channels))
+	for i, sys := range c.channels {
+		loads[i] = sys.usedRows()
+	}
+	return loads
+}
+
+// ShardedVector is a cluster-wide vector: n elements striped over the
+// channels according to its placement plan, each channel's shard a
+// normal Vector on that channel's System.
+type ShardedVector struct {
+	cl     *Cluster
+	handle uint16
+	n      int
+	width  int
+	plan   cluster.Plan
+	parts  []*Vector // parallel to plan.Spans
+	freed  bool
+}
+
+// AllocShardedVector reserves a vector of n elements of the given width,
+// striped across channels by the cluster's placement policy.
+func (c *Cluster) AllocShardedVector(n, width int) (*ShardedVector, error) {
+	return c.allocSharded(n, width, c.policy, func(sys *System, count int) (*Vector, error) {
+		return sys.AllocVector(count, width)
+	})
+}
+
+// AllocShardedGroup reserves count vectors of n elements under one
+// load snapshot, so all of them share a single placement plan and can
+// meet in operations regardless of the placement policy. This is the
+// way to allocate an operand group (sources plus destination) under
+// PlaceLeastLoaded, whose per-allocation plans otherwise diverge as
+// each allocation shifts the load it orders by.
+func (c *Cluster) AllocShardedGroup(n, width, count int) ([]*ShardedVector, error) {
+	if count < 1 {
+		return nil, errorf("group needs at least 1 vector, have %d", count)
+	}
+	order := c.policy.Order(c.loads())
+	group := make([]*ShardedVector, 0, count)
+	for i := 0; i < count; i++ {
+		v, err := c.allocSharded(n, width, cluster.Affinity{Channels: order}, func(sys *System, cnt int) (*Vector, error) {
+			return sys.AllocVector(cnt, width)
+		})
+		if err != nil {
+			for _, prev := range group {
+				prev.Free()
+			}
+			return nil, err
+		}
+		group = append(group, v)
+	}
+	return group, nil
+}
+
+// AllocShardedVectorOn is AllocShardedVector with explicit channel
+// affinity: elements stripe over exactly the listed channels, in order.
+// Operand groups allocated with the same affinity and length share a
+// plan regardless of the cluster's load.
+func (c *Cluster) AllocShardedVectorOn(n, width int, channels []int) (*ShardedVector, error) {
+	for _, ch := range channels {
+		if ch < 0 || ch >= len(c.channels) {
+			return nil, errorf("affinity channel %d out of range [0,%d)", ch, len(c.channels))
+		}
+	}
+	return c.allocSharded(n, width, cluster.Affinity{Channels: channels}, func(sys *System, count int) (*Vector, error) {
+		return sys.AllocVector(count, width)
+	})
+}
+
+// AllocShardedVectorAt is AllocShardedVector with an explicit starting
+// placement inside every channel: each shard's first segment lands in
+// the given (bank, subarray) of its channel. Giving different origins to
+// independent operand groups spreads them across banks on every channel,
+// which is what lets ExecBatch overlap their instructions within each
+// channel as well as across channels.
+func (c *Cluster) AllocShardedVectorAt(n, width, bank, sub int) (*ShardedVector, error) {
+	return c.allocSharded(n, width, c.policy, func(sys *System, count int) (*Vector, error) {
+		return sys.AllocVectorAt(count, width, bank, sub)
+	})
+}
+
+// allocSharded plans the stripe and allocates one shard per span,
+// rolling everything back on failure.
+func (c *Cluster) allocSharded(n, width int, policy cluster.Policy, alloc func(sys *System, count int) (*Vector, error)) (*ShardedVector, error) {
+	plan, err := cluster.MakePlan(n, policy.Order(c.loads()))
+	if err != nil {
+		return nil, err
+	}
+	v := &ShardedVector{cl: c, n: n, width: width, plan: plan}
+	for _, span := range plan.Spans {
+		part, err := alloc(c.channels[span.Channel], span.Count)
+		if err != nil {
+			v.freeParts()
+			return nil, errorf("channel %d: %w", span.Channel, err)
+		}
+		v.parts = append(v.parts, part)
+	}
+	h, err := c.handles.alloc()
+	if err != nil {
+		v.freeParts()
+		return nil, err
+	}
+	v.handle = h
+	c.objects[h] = v
+	return v, nil
+}
+
+// Handle returns the cluster-wide object handle used in bbop programs
+// passed to Cluster.ExecBatch.
+func (v *ShardedVector) Handle() uint16 { return v.handle }
+
+// Len returns the element count.
+func (v *ShardedVector) Len() int { return v.n }
+
+// Width returns the element width in bits.
+func (v *ShardedVector) Width() int { return v.width }
+
+// freeParts releases the per-channel shards.
+func (v *ShardedVector) freeParts() {
+	for _, part := range v.parts {
+		part.Free()
+	}
+	v.parts = nil
+}
+
+// Free releases every channel's shard and the cluster handle.
+func (v *ShardedVector) Free() {
+	if v.freed {
+		return
+	}
+	v.freeParts()
+	delete(v.cl.objects, v.handle)
+	v.cl.handles.release(v.handle)
+	v.freed = true
+}
+
+// Store scatters horizontal data across the channels: each shard's
+// chunk goes through its own channel's transposition unit, all channels
+// in parallel.
+func (v *ShardedVector) Store(data []uint64) error {
+	if v.freed {
+		return errorf("store to freed sharded vector")
+	}
+	if len(data) != v.n {
+		return errorf("store: sharded vector holds %d elements, data has %d", v.n, len(data))
+	}
+	return cluster.Dispatch(v.spanChannels(), func(task, ch int, _ <-chan struct{}) error {
+		span := v.plan.Spans[task]
+		return v.parts[task].Store(data[span.Off : span.Off+span.Count])
+	})
+}
+
+// Load gathers the vector back into one horizontal slice, all channels
+// in parallel.
+func (v *ShardedVector) Load() ([]uint64, error) {
+	if v.freed {
+		return nil, errorf("load from freed sharded vector")
+	}
+	out := make([]uint64, v.n)
+	err := cluster.Dispatch(v.spanChannels(), func(task, ch int, _ <-chan struct{}) error {
+		vals, err := v.parts[task].Load()
+		if err != nil {
+			return err
+		}
+		copy(out[v.plan.Spans[task].Off:], vals)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// spanChannels returns the channel of every span, parallel to parts.
+func (v *ShardedVector) spanChannels() []int {
+	chs := make([]int, len(v.plan.Spans))
+	for i, span := range v.plan.Spans {
+		chs[i] = span.Channel
+	}
+	return chs
+}
+
+// ClusterBatchStats describes the cost of a Cluster.ExecBatch call. It
+// mirrors the internal cluster stats the way BatchStats mirrors
+// ctrl.BatchStats; keep the fields in sync.
+type ClusterBatchStats struct {
+	Instructions int64
+	Commands     int64
+	// BusyNs is the aggregate fabric work: the summed serial-equivalent
+	// time of every channel's own sub-batch. It is NOT the cost of one
+	// System holding all the shards — a single channel overlaps a
+	// multi-segment instruction across its banks, so that baseline can
+	// only be measured by actually running the merged workload on one
+	// System (cmd/simdram-bench -cluster does, and the
+	// BenchmarkClusterExecBatch / BenchmarkClusterSingleSystem pair
+	// reports both sides).
+	BusyNs float64
+	// CriticalPathNs is the cluster makespan: channels run concurrently,
+	// so it is the maximum of the per-channel critical paths, not their
+	// sum.
+	CriticalPathNs float64
+	// EnergyPJ is additive across channels: concurrency saves time, not
+	// energy.
+	EnergyPJ float64
+	// ChannelUtilization[i] is channel i's critical path as a fraction
+	// of the cluster makespan — 1.0 bounds the batch, 0 means idle.
+	ChannelUtilization []float64
+}
+
+// Speedup returns the fabric-overlap factor: aggregate work divided by
+// the cluster makespan, composing bank overlap inside each channel
+// with channel overlap across the cluster. It is an upper bound on the
+// gain over one System actually holding all the data (which also
+// overlaps each instruction's segments across its banks); use the
+// measured single-System baseline for that comparison.
+func (s ClusterBatchStats) Speedup() float64 {
+	if s.CriticalPathNs == 0 {
+		return 1
+	}
+	return s.BusyNs / s.CriticalPathNs
+}
+
+// UtilizationSkew returns the utilization spread (max−min) across
+// channels: 0 is a perfectly balanced shard.
+func (s ClusterBatchStats) UtilizationSkew() float64 {
+	return cluster.Skew(s.ChannelUtilization)
+}
+
+// ExecBatch executes a program of bbop instructions — written against
+// cluster-wide object handles — across every channel: the program is
+// split by shard, handles and element counts are rewritten per channel,
+// and the per-channel sub-batches dispatch in parallel through each
+// channel's hazard-aware scheduler. Results are indistinguishable from
+// executing the same program on one System holding all the data.
+//
+// Every operand of one instruction must be shard-aligned (same
+// placement plan — allocate operand groups with the same length and
+// policy, or with explicit affinity).
+//
+// If one channel fails, in-flight sibling work completes, siblings stop
+// issuing further instructions, and all failures come back in one
+// joined error annotated with the channel that raised them.
+func (c *Cluster) ExecBatch(prog isa.Program) (ClusterBatchStats, error) {
+	if err := prog.Validate(); err != nil {
+		return ClusterBatchStats{}, err
+	}
+	k := len(c.channels)
+	handleMaps := make([]map[uint16]uint16, k)
+	sizeMaps := make([]map[uint16]uint32, k)
+	for ch := 0; ch < k; ch++ {
+		handleMaps[ch] = map[uint16]uint16{}
+		sizeMaps[ch] = map[uint16]uint32{}
+	}
+	mapped := map[uint16]bool{} // objects whose per-channel entries are filled
+	for i, in := range prog {
+		handles := append(in.Writes(), in.Reads()...)
+		var first *ShardedVector
+		for _, h := range handles {
+			sv, ok := c.objects[h]
+			if !ok {
+				return ClusterBatchStats{}, errorf("instruction %d (%s): unknown cluster object %d", i, in, h)
+			}
+			if first == nil {
+				first = sv
+			} else if !sv.plan.Equal(first.plan) {
+				return ClusterBatchStats{}, errorf(
+					"instruction %d (%s): objects %d and %d are not shard-aligned (allocate operand groups with the same length and placement)",
+					i, in, first.handle, h)
+			}
+			if mapped[h] {
+				continue
+			}
+			mapped[h] = true
+			for pi, span := range sv.plan.Spans {
+				handleMaps[span.Channel][h] = sv.parts[pi].Handle()
+				sizeMaps[span.Channel][h] = uint32(span.Count)
+			}
+			for ch := 0; ch < k; ch++ {
+				if _, ok := sizeMaps[ch][h]; !ok {
+					sizeMaps[ch][h] = 0
+				}
+			}
+		}
+	}
+	subProgs := make([]isa.Program, k)
+	var ran []int
+	for ch := 0; ch < k; ch++ {
+		sub, err := prog.Rewrite(handleMaps[ch], sizeMaps[ch])
+		if err != nil {
+			return ClusterBatchStats{}, err
+		}
+		if len(sub) > 0 {
+			subProgs[ch] = sub
+			ran = append(ran, ch)
+		}
+	}
+	perCh := make([]ctrl.BatchStats, k)
+	err := cluster.Dispatch(ran, func(task, ch int, cancel <-chan struct{}) error {
+		st, err := c.channels[ch].execBatch(subProgs[ch], cancel)
+		if err != nil {
+			return err
+		}
+		perCh[ch] = st
+		return nil
+	})
+	if err != nil {
+		return ClusterBatchStats{}, err
+	}
+	m := cluster.Merge(perCh)
+	return ClusterBatchStats{
+		Instructions:       m.Instructions,
+		Commands:           m.Commands,
+		BusyNs:             m.BusyNs,
+		CriticalPathNs:     m.CriticalPathNs,
+		EnergyPJ:           m.EnergyPJ,
+		ChannelUtilization: m.ChannelUtilization,
+	}, nil
+}
+
+// Run executes the named operation across the cluster: dst[i] =
+// op(srcs[0][i], …). It is the one-instruction convenience over
+// ExecBatch; all vectors must be shard-aligned.
+func (c *Cluster) Run(opName string, dst *ShardedVector, srcs ...*ShardedVector) (ClusterBatchStats, error) {
+	d, err := ops.ByName(opName)
+	if err != nil {
+		return ClusterBatchStats{}, err
+	}
+	if len(srcs) == 0 || len(srcs) > 3 {
+		return ClusterBatchStats{}, errorf("%s: ISA encodes 1-3 source objects, have %d", opName, len(srcs))
+	}
+	// Handles are recycled after Free and scoped per cluster, so a
+	// stale or foreign vector's handle may name an unrelated object in
+	// c.objects — reject both here, while we still hold the caller's
+	// pointers.
+	if dst.freed {
+		return ClusterBatchStats{}, errorf("%s: destination freed", opName)
+	}
+	if dst.cl != c {
+		return ClusterBatchStats{}, errorf("%s: destination belongs to a different cluster", opName)
+	}
+	for k, src := range srcs {
+		if src.freed {
+			return ClusterBatchStats{}, errorf("%s: source %d freed", opName, k)
+		}
+		if src.cl != c {
+			return ClusterBatchStats{}, errorf("%s: source %d belongs to a different cluster", opName, k)
+		}
+	}
+	in := isa.Instruction{
+		Op:    isa.FromOp(d.Code),
+		Dst:   dst.handle,
+		Size:  uint32(dst.n),
+		Width: uint8(srcs[0].width),
+		N:     uint8(len(srcs)),
+	}
+	for i, src := range srcs {
+		in.Src[i] = src.handle
+	}
+	return c.ExecBatch(isa.Program{in})
+}

@@ -25,8 +25,16 @@ func main() {
 	trials := flag.Int("trials", 100000, "Monte Carlo trials for the reliability experiment (E5)")
 	batch := flag.Bool("batch", false, "run the batched-execution demo instead of the paper experiments")
 	batchRounds := flag.Int("batch-rounds", 20, "wall-clock averaging rounds for -batch")
+	clusterN := flag.Int("cluster", 0, "run the sharded-cluster demo with N channels instead of the paper experiments")
 	flag.Parse()
 
+	if *clusterN > 0 {
+		if err := runClusterDemo(*clusterN); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *batch {
 		if err := runBatchDemo(*batchRounds); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -78,6 +86,69 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runClusterDemo shards the bank-disjoint workload across an N-channel
+// cluster and compares its modeled makespan against the single-channel
+// serial-equivalent: the identical total workload on one System, issued
+// one instruction at a time. Near-linear scaling shows up as a critical
+// path close to 1/N of the baseline (the acceptance target is < 0.35×
+// at N = 4).
+func runClusterDemo(channels int) error {
+	cfg := simdram.DefaultClusterConfig(channels)
+	c, err := simdram.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	cprog, err := batchgen.ClusterProgram(c, 1)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	cst, err := c.ExecBatch(cprog)
+	if err != nil {
+		return err
+	}
+	clusterWall := time.Since(start)
+
+	// The same total elements and instruction stream on one channel.
+	sys, err := simdram.New(cfg.Channel)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	sprog, err := batchgen.ProgramScaled(sys, 1, channels)
+	if err != nil {
+		return err
+	}
+	sst, err := sys.ExecBatch(sprog)
+	if err != nil {
+		return err
+	}
+
+	d := cfg.Channel.DRAM
+	fmt.Printf("sharded cluster demo: %d channels × (%d banks × %d subarrays × %d lanes), %d instructions, %d elements/vector\n",
+		channels, d.Banks, d.SubarraysPerBank, d.Cols, len(cprog), d.Cols*channels)
+	fmt.Printf("  single channel:     %12.2f ns serial-equivalent, %12.2f ns batched critical path\n",
+		sst.BusyNs, sst.CriticalPathNs)
+	fmt.Printf("  cluster (%d ch):     %12.2f ns critical path  (%.2f ns aggregate work, %.2f× fabric overlap, skew %.3f)\n",
+		channels, cst.CriticalPathNs, cst.BusyNs, cst.Speedup(), cst.UtilizationSkew())
+	ratio := cst.CriticalPathNs / sst.BusyNs
+	fmt.Printf("  scaling:            cluster critical path = %.3f× single-channel serial-equivalent (wall %v)\n",
+		ratio, clusterWall)
+	fmt.Printf("  per-channel utilization: ")
+	for i, u := range cst.ChannelUtilization {
+		if i > 0 {
+			fmt.Printf(", ")
+		}
+		fmt.Printf("ch%d %.2f", i, u)
+	}
+	fmt.Println()
+	if channels >= 4 && ratio >= 0.35 {
+		return fmt.Errorf("cluster scaling regressed: critical path %.3f× serial-equivalent, want < 0.35×", ratio)
+	}
+	return nil
 }
 
 // runBatchDemo compares a serial Exec loop against ExecBatch on the

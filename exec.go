@@ -60,8 +60,10 @@ func (s *System) prepareOp(d ops.Def, dst *Vector, srcs []*Vector) (*uprog.Progr
 		if !dst.aligned(src) {
 			return nil, nil, errorf("%s: source %d not segment-aligned with dst", d.Name, k)
 		}
-		if src == dst {
-			return nil, nil, errorf("%s: destination must not alias a source", d.Name)
+		if src.overlaps(dst) {
+			// A pointer compare is not enough: a View of the destination
+			// is a distinct *Vector yet physically shares its rows.
+			return nil, nil, errorf("%s: destination must not alias a source (source %d overlaps its rows)", d.Name, k)
 		}
 	}
 	if dst.freed {

@@ -1,30 +1,69 @@
 // Package batchgen builds the bank-spread demo workload shared by the
-// ExecBatch benchmark and simdram-bench's -batch mode, so both measure
-// the same instruction stream.
+// ExecBatch/cluster benchmarks and simdram-bench's -batch and -cluster
+// modes, so every measurement sees the same instruction stream.
 package batchgen
 
 import (
 	"math/rand"
 
 	"simdram"
+	"simdram/internal/dram"
 	"simdram/internal/isa"
 	"simdram/internal/ops"
 )
+
+// vector is the slice of the Vector/ShardedVector surface the workload
+// needs, letting one generator drive both the single-System and the
+// cluster variant.
+type vector interface {
+	Handle() uint16
+	Store(data []uint64) error
+}
 
 // Program allocates one independent 8-bit addition per (bank, subarray)
 // of sys's geometry, operands spread with AllocVectorAt so every
 // instruction owns its own subarray — the shape ExecBatch is designed
 // to overlap and a serial Exec loop issues one at a time.
 func Program(sys *simdram.System, seed int64) (isa.Program, error) {
+	return ProgramScaled(sys, seed, 1)
+}
+
+// ProgramScaled is Program with each vector scaled to scale full
+// segments (scale × Cols elements). It is the single-System equivalent
+// of ClusterProgram on a scale-channel cluster: the same total elements
+// and instruction stream, held by one channel — the serial-equivalent
+// baseline cluster scaling numbers compare against.
+func ProgramScaled(sys *simdram.System, seed int64, scale int) (isa.Program, error) {
 	cfg := sys.Config()
+	n := cfg.DRAM.Cols * scale
+	return build(cfg.DRAM, n, seed, func(bank, sub int) (vector, error) {
+		return sys.AllocVectorAt(n, 8, bank, sub)
+	})
+}
+
+// ClusterProgram is Program lifted to a cluster: one independent 8-bit
+// addition per (bank, subarray), each sharded vector carrying one full
+// segment (Cols elements) per channel so every channel sees the same
+// bank-disjoint shape.
+func ClusterProgram(c *simdram.Cluster, seed int64) (isa.Program, error) {
+	cfg := c.Config().Channel
+	n := cfg.DRAM.Cols * c.Channels()
+	return build(cfg.DRAM, n, seed, func(bank, sub int) (vector, error) {
+		return c.AllocShardedVectorAt(n, 8, bank, sub)
+	})
+}
+
+// build emits the shared shape: per (bank, subarray), three fresh
+// vectors from alloc, the first two filled with random bytes, and one
+// addition instruction over their handles.
+func build(d dram.Config, n int, seed int64, alloc func(bank, sub int) (vector, error)) (isa.Program, error) {
 	rng := rand.New(rand.NewSource(seed))
-	n := cfg.DRAM.Cols
 	var prog isa.Program
-	for bank := 0; bank < cfg.DRAM.Banks; bank++ {
-		for sub := 0; sub < cfg.DRAM.SubarraysPerBank; sub++ {
-			vecs := make([]*simdram.Vector, 3)
+	for bank := 0; bank < d.Banks; bank++ {
+		for sub := 0; sub < d.SubarraysPerBank; sub++ {
+			vecs := make([]vector, 3)
 			for i := range vecs {
-				v, err := sys.AllocVectorAt(n, 8, bank, sub)
+				v, err := alloc(bank, sub)
 				if err != nil {
 					return nil, err
 				}

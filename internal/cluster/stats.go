@@ -1,0 +1,84 @@
+package cluster
+
+import "simdram/internal/ctrl"
+
+// BatchStats aggregates per-channel batch execution under the cluster
+// timing model: channels run concurrently, so work, commands, energy,
+// and serial-equivalent time add across channels while the cluster
+// makespan is the slowest channel's critical path.
+type BatchStats struct {
+	Instructions int64
+	Commands     int64
+	// BusyNs is the aggregate fabric work: the sum of every channel's
+	// own serial-equivalent time. It is not the cost of one channel
+	// holding all the shards — a single channel overlaps a
+	// multi-segment instruction across its banks — so the honest
+	// single-channel baseline is measured by running the merged
+	// workload on one System, not derived from this sum.
+	BusyNs float64
+	// CriticalPathNs is the cluster makespan: the maximum over channels
+	// of the per-channel overlap-aware critical path.
+	CriticalPathNs float64
+	EnergyPJ       float64
+	// ChannelUtilization[i] is channel i's critical path as a fraction
+	// of the cluster makespan — 1.0 for the channel that bounds the
+	// batch, lower for channels that finished early, 0 for idle ones.
+	// The spread of these values is the shard-balance skew.
+	ChannelUtilization []float64
+}
+
+// Merge folds the per-channel stats (index = channel) into cluster
+// stats. Channels that ran nothing contribute zero everywhere and show
+// up as utilization 0.
+func Merge(per []ctrl.BatchStats) BatchStats {
+	var m ctrl.BatchStats
+	for _, st := range per {
+		m.MergeParallel(st)
+	}
+	out := BatchStats{
+		Instructions:       m.Instructions,
+		Commands:           m.Commands,
+		BusyNs:             m.BusyNs,
+		CriticalPathNs:     m.CriticalPathNs,
+		EnergyPJ:           m.EnergyPJ,
+		ChannelUtilization: make([]float64, len(per)),
+	}
+	if m.CriticalPathNs > 0 {
+		for i, st := range per {
+			out.ChannelUtilization[i] = st.CriticalPathNs / m.CriticalPathNs
+		}
+	}
+	return out
+}
+
+// Speedup returns the fabric-overlap factor (aggregate work over the
+// makespan) — an upper bound on the gain over one System holding all
+// the data; see BusyNs for why the true baseline must be measured.
+func (s BatchStats) Speedup() float64 {
+	if s.CriticalPathNs == 0 {
+		return 1
+	}
+	return s.BusyNs / s.CriticalPathNs
+}
+
+// Skew returns the utilization spread max−min over channels: 0 means a
+// perfectly balanced shard, values near 1 mean some channels idled
+// while the slowest bounded the batch.
+func (s BatchStats) Skew() float64 { return Skew(s.ChannelUtilization) }
+
+// Skew is the max−min spread of a utilization vector.
+func Skew(utilization []float64) float64 {
+	if len(utilization) == 0 {
+		return 0
+	}
+	min, max := utilization[0], utilization[0]
+	for _, u := range utilization[1:] {
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	return max - min
+}

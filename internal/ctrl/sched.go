@@ -44,6 +44,27 @@ func (s BatchStats) Speedup() float64 {
 	return s.BusyNs / s.CriticalPathNs
 }
 
+// MergeParallel folds o into s as a batch that executed concurrently on
+// an independent channel: instruction and command counts, energy, and
+// the serial-equivalent time are additive, while the makespan of two
+// concurrently running batches is the maximum of their critical paths.
+// This is the aggregation rule a multi-channel cluster uses to report
+// honest whole-fabric latency.
+func (s *BatchStats) MergeParallel(o BatchStats) {
+	s.Instructions += o.Instructions
+	s.Commands += o.Commands
+	s.BusyNs += o.BusyNs
+	s.EnergyPJ += o.EnergyPJ
+	if o.CriticalPathNs > s.CriticalPathNs {
+		s.CriticalPathNs = o.CriticalPathNs
+	}
+}
+
+// ErrCanceled reports that batch execution stopped because the caller's
+// cancellation signal fired: in-flight work completed, unissued jobs
+// were skipped.
+var ErrCanceled = errors.New("ctrl: batch canceled")
+
 // batchPlan is the scheduler's precomputed view of a batch: per-job
 // subarray groups, the full constraint graph, and the deterministic
 // timing solution.
@@ -148,6 +169,15 @@ func (u *Unit) plan(jobs []Job) (*batchPlan, error) {
 // failure is reported via errors.Join; jobs not yet issued are skipped,
 // so DRAM state reflects a prefix-consistent subset of the batch.
 func (u *Unit) ExecuteBatch(jobs []Job) (BatchStats, error) {
+	return u.ExecuteBatchCancel(jobs, nil)
+}
+
+// ExecuteBatchCancel is ExecuteBatch with an external cancellation
+// signal: once cancel is closed the unit stops issuing new jobs, drains
+// in-flight work, and — if any job was thereby skipped — reports
+// ErrCanceled. A cluster uses this to stop sibling channels after one
+// channel fails. A nil cancel never fires.
+func (u *Unit) ExecuteBatchCancel(jobs []Job, cancel <-chan struct{}) (BatchStats, error) {
 	if len(jobs) == 0 {
 		return BatchStats{}, fmt.Errorf("ctrl: empty batch")
 	}
@@ -205,9 +235,17 @@ func (u *Unit) ExecuteBatch(jobs []Job) (BatchStats, error) {
 	}
 	var failures []error
 	var energyPJ float64
+	canceled := false
 	doneJobs, inflight := 0, 0
 	for doneJobs < n {
-		if len(failures) == 0 {
+		if !canceled && cancel != nil {
+			select {
+			case <-cancel:
+				canceled = true
+			default:
+			}
+		}
+		if len(failures) == 0 && !canceled {
 			for _, id := range ready {
 				issue(id)
 				inflight += len(pl.groups[id])
@@ -233,6 +271,9 @@ func (u *Unit) ExecuteBatch(jobs []Job) (BatchStats, error) {
 				}
 			}
 		}
+	}
+	if canceled && doneJobs < n {
+		failures = append(failures, fmt.Errorf("%w: %d of %d instructions completed", ErrCanceled, doneJobs, n))
 	}
 	if err := errors.Join(failures...); err != nil {
 		return BatchStats{}, err

@@ -1,6 +1,7 @@
 package ctrl
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -205,6 +206,77 @@ func TestExecuteBatchJoinsErrors(t *testing.T) {
 	msg := err.Error()
 	if !strings.Contains(msg, "bank 0") || !strings.Contains(msg, "bank 1") {
 		t.Errorf("joined error must name both failing banks, got: %v", msg)
+	}
+}
+
+// TestExecuteBatchErrorSkipsLater drives a dependency chain into a
+// failing middle job: the already-completed predecessor keeps its
+// result, the dependent successor is never issued, and the error names
+// the failing subarray.
+func TestExecuteBatchErrorSkipsLater(t *testing.T) {
+	r := newBatchRig(t)
+	rng := rand.New(rand.NewSource(21))
+	want := r.seed(t, rng, 0, 0)
+	bad := uprog.Binding{SrcBase: []int{1 << 20, 1 << 20}, DstBase: 0, ScratchBase: r.w}
+	skippedDst := r.bind.DstBase + r.w
+	dependent := uprog.Binding{
+		SrcBase:     []int{r.bind.DstBase, r.bind.DstBase},
+		DstBase:     skippedDst,
+		ScratchBase: skippedDst + r.w,
+	}
+	jobs := []Job{
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 0, Binding: r.bind}}},
+		{Program: r.prog, Segments: []Segment{{Bank: 1, Sub: 0, Binding: bad}}, Deps: []int{0}},
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 0, Binding: dependent}}, Deps: []int{1}},
+	}
+	_, err := r.unit.ExecuteBatch(jobs)
+	if err == nil {
+		t.Fatal("failing middle job must surface")
+	}
+	if !strings.Contains(err.Error(), "bank 1") {
+		t.Errorf("error must name the failing subarray, got: %v", err)
+	}
+	// Job 0 was in flight before the failure: its result stands.
+	r.checkDst(t, 0, 0, r.bind.DstBase, want)
+	// Job 2 depends on the failed job: it must never have been issued.
+	sa := r.mod.Subarray(0, 0)
+	for row := skippedDst; row < skippedDst+r.w; row++ {
+		for _, w := range sa.Peek(row) {
+			if w != 0 {
+				t.Fatalf("dependent job ran after failure: row %d is nonzero", row)
+			}
+		}
+	}
+}
+
+// TestExecuteBatchCancel closes the cancellation signal up front:
+// nothing is issued, the DRAM stays untouched, and ErrCanceled reports
+// how much of the batch completed.
+func TestExecuteBatchCancel(t *testing.T) {
+	r := newBatchRig(t)
+	rng := rand.New(rand.NewSource(22))
+	r.seed(t, rng, 0, 0)
+	cancel := make(chan struct{})
+	close(cancel)
+	jobs := []Job{
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 0, Binding: r.bind}}},
+		{Program: r.prog, Segments: []Segment{{Bank: 1, Sub: 0, Binding: r.bind}}},
+	}
+	_, err := r.unit.ExecuteBatchCancel(jobs, cancel)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled batch must report ErrCanceled, got: %v", err)
+	}
+	sa := r.mod.Subarray(0, 0)
+	for row := r.bind.DstBase; row < r.bind.DstBase+r.w; row++ {
+		for _, w := range sa.Peek(row) {
+			if w != 0 {
+				t.Fatal("canceled batch must not execute any instruction")
+			}
+		}
+	}
+	// A nil cancel channel behaves exactly like ExecuteBatch.
+	if _, err := r.unit.ExecuteBatchCancel(jobs, nil); err != nil {
+		t.Fatalf("nil cancel must execute normally: %v", err)
 	}
 }
 

@@ -80,9 +80,38 @@ type System struct {
 	// rows[bank][sub] allocates the subarray's data rows.
 	rows [][]*rowAlloc
 
-	objects    map[uint16]*Vector
-	nextHandle uint16
+	objects map[uint16]*Vector
+	handles handleSpace
 }
+
+// handleSpace hands out 16-bit object handles, recycling freed ones so
+// long-lived programs never exhaust the space while fewer than 65535
+// objects are live. Handle 0 stays reserved as the invalid handle.
+type handleSpace struct {
+	next uint16
+	free []uint16
+}
+
+// alloc returns a fresh or recycled handle, or an error once 65535
+// objects are live at once. Fresh handles are preferred and freed ones
+// recycled only after the fresh range runs out, so a stale handle in
+// an old program keeps failing loudly ("unknown object") instead of
+// silently resolving to whatever object was allocated next.
+func (h *handleSpace) alloc() (uint16, error) {
+	if h.next < ^uint16(0) {
+		h.next++
+		return h.next, nil
+	}
+	if n := len(h.free); n > 0 {
+		id := h.free[n-1]
+		h.free = h.free[:n-1]
+		return id, nil
+	}
+	return 0, errorf("object handles exhausted (%d live objects)", h.next)
+}
+
+// release returns a handle for reuse.
+func (h *handleSpace) release(id uint16) { h.free = append(h.free, id) }
 
 // New builds a System.
 func New(cfg Config) (*System, error) {
@@ -128,6 +157,18 @@ func (s *System) TranspositionUnit() *vertical.Unit { return s.tu }
 // Lanes returns the total number of SIMD lanes (bitlines) that compute in
 // parallel across all banks.
 func (s *System) Lanes() int { return s.cfg.DRAM.Cols * s.cfg.DRAM.Banks }
+
+// usedRows returns the total number of allocated data rows across every
+// subarray — the load signal placement policies shard against.
+func (s *System) usedRows() int {
+	used := 0
+	for _, bank := range s.rows {
+		for _, a := range bank {
+			used += a.inUse()
+		}
+	}
+	return used
+}
 
 // segmentOrder maps segment index i to a (bank, subarray) pair,
 // bank-major so consecutive segments land in different banks and execute

@@ -10,7 +10,9 @@ type Vector struct {
 	width  int
 	segs   []segment
 	freed  bool
-	view   bool // aliases another vector's rows; Free releases nothing
+	view   bool    // aliases another vector's rows; Free releases nothing
+	base   *Vector // for views: the row-owning vector this view aliases
+	views  []*Vector
 }
 
 type segment struct {
@@ -72,8 +74,14 @@ func (s *System) allocVector(n, width, origin int) (*Vector, error) {
 		remaining -= lanes
 		v.segs = append(v.segs, segment{bank: bank, sub: sub, baseRow: base, lanes: lanes})
 	}
-	s.nextHandle++
-	v.handle = s.nextHandle
+	h, err := s.handles.alloc()
+	if err != nil {
+		for _, seg := range v.segs {
+			s.rows[seg.bank][seg.sub].release(seg.baseRow, width)
+		}
+		return nil, err
+	}
+	v.handle = h
 	s.objects[v.handle] = v
 	return v, nil
 }
@@ -89,17 +97,38 @@ func (v *Vector) Width() int { return v.width }
 
 // Free releases the vector's handle and returns its rows to the
 // subarray allocators for reuse. Freeing a View releases only the handle;
-// the underlying vector still owns the rows.
+// the underlying vector still owns the rows. Freeing a base vector with
+// outstanding Views invalidates them first — their rows are about to be
+// reallocated, so any later use of such a view fails like use of any
+// freed vector instead of silently reading recycled rows.
 func (v *Vector) Free() {
 	if v.freed {
 		return
 	}
-	if !v.view {
+	if v.view {
+		// Unregister from the row owner so freed views don't pile up on
+		// a long-lived base.
+		vs := v.base.views
+		for i, vw := range vs {
+			if vw == v {
+				vs[i] = vs[len(vs)-1]
+				v.base.views = vs[:len(vs)-1]
+				break
+			}
+		}
+	} else {
+		for _, vw := range v.views {
+			delete(vw.sys.objects, vw.handle)
+			vw.sys.handles.release(vw.handle)
+			vw.freed = true
+		}
+		v.views = nil
 		for _, seg := range v.segs {
 			v.sys.rows[seg.bank][seg.sub].release(seg.baseRow, v.width)
 		}
 	}
 	delete(v.sys.objects, v.handle)
+	v.sys.handles.release(v.handle)
 	v.freed = true
 }
 
@@ -116,7 +145,11 @@ func (v *Vector) View(rowOffset, width int) (*Vector, error) {
 	if rowOffset < 0 || width < 1 || rowOffset+width > v.width {
 		return nil, errorf("view rows [%d,%d) outside vector width %d", rowOffset, rowOffset+width, v.width)
 	}
-	nv := &Vector{sys: v.sys, n: v.n, width: width, view: true}
+	base := v
+	if v.view {
+		base = v.base // views of views still hang off the row owner
+	}
+	nv := &Vector{sys: v.sys, n: v.n, width: width, view: true, base: base}
 	for _, seg := range v.segs {
 		nv.segs = append(nv.segs, segment{
 			bank: seg.bank, sub: seg.sub,
@@ -124,9 +157,13 @@ func (v *Vector) View(rowOffset, width int) (*Vector, error) {
 			lanes:   seg.lanes,
 		})
 	}
-	v.sys.nextHandle++
-	nv.handle = v.sys.nextHandle
+	h, err := v.sys.handles.alloc()
+	if err != nil {
+		return nil, err
+	}
+	nv.handle = h
 	v.sys.objects[nv.handle] = nv
+	base.views = append(base.views, nv)
 	return nv, nil
 }
 
@@ -178,6 +215,20 @@ func (v *Vector) Load() ([]uint64, error) {
 		out = append(out, vals...)
 	}
 	return out, nil
+}
+
+// overlaps reports whether two segment-aligned vectors physically share
+// any rows — true for the same vector, and for a View whose row window
+// intersects the other's. Only meaningful after aligned() holds, which
+// guarantees segment i of both vectors sits in the same subarray.
+func (v *Vector) overlaps(o *Vector) bool {
+	for i := range v.segs {
+		vs, os := v.segs[i], o.segs[i]
+		if vs.baseRow < os.baseRow+o.width && os.baseRow < vs.baseRow+v.width {
+			return true
+		}
+	}
+	return false
 }
 
 // aligned reports whether two vectors share segment placement (same

@@ -3,6 +3,9 @@ package simdram
 import (
 	"math/rand"
 	"testing"
+
+	"simdram/internal/isa"
+	"simdram/internal/ops"
 )
 
 func TestViewIsFreeRightShift(t *testing.T) {
@@ -92,5 +95,160 @@ func TestViewBoundsAndFree(t *testing.T) {
 	a.Free()
 	if _, err := a.View(0, 4); err == nil {
 		t.Error("view of freed vector must error")
+	}
+}
+
+// TestFreeInvalidatesOutstandingViews covers the use-after-free hazard:
+// freeing a base vector returns its rows to the allocator, so any live
+// view of those rows must be invalidated rather than silently read
+// whatever vector gets the rows next.
+func TestFreeInvalidatesOutstandingViews(t *testing.T) {
+	sys := testSystem(t)
+	a, err := sys.AllocVector(100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := a.View(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := v1.View(2, 4) // view of a view hangs off the same owner
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free()
+	if _, err := v1.Load(); err == nil {
+		t.Error("view must be invalid after its base is freed")
+	}
+	if _, err := v2.Load(); err == nil {
+		t.Error("view-of-view must be invalid after its base is freed")
+	}
+	if _, ok := sys.objects[v1.handle]; ok {
+		t.Error("invalidated view must leave the object table")
+	}
+	// The recycled rows belong to the next allocation alone.
+	b, err := sys.AllocVector(100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Store(make([]uint64, 100)); err != nil {
+		t.Fatal(err)
+	}
+	v1.Free() // idempotent no-op on an invalidated view
+	v2.Free()
+}
+
+// TestViewFreeUnregisters checks a freed view leaves its base's
+// tracking list, so churning views on a long-lived base cannot
+// accumulate.
+func TestViewFreeUnregisters(t *testing.T) {
+	sys := testSystem(t)
+	a, err := sys.AllocVector(100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		v, err := a.View(1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Free()
+	}
+	if len(a.views) != 0 {
+		t.Errorf("base tracks %d views after all were freed, want 0", len(a.views))
+	}
+	kept, _ := a.View(0, 8)
+	freed, _ := a.View(2, 8)
+	freed.Free()
+	if len(a.views) != 1 || a.views[0] != kept {
+		t.Errorf("base must track exactly the live view, got %d entries", len(a.views))
+	}
+}
+
+// TestHandleReuseAndExhaustion covers the uint16 handle space: freed
+// handles are recycled once the fresh range runs out (no wraparound
+// onto live objects), fresh handles are preferred while any remain (so
+// stale handles keep failing loudly), and true exhaustion is an error
+// instead of silently overwriting live entries.
+func TestHandleReuseAndExhaustion(t *testing.T) {
+	sys := testSystem(t)
+	v1, err := sys.AllocVector(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := v1.Handle()
+	v1.Free()
+	v2, err := sys.AllocVector(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Handle() == h {
+		t.Errorf("freed handle %d must not be recycled while fresh handles remain", h)
+	}
+	if _, err := sys.Exec(isa.Instruction{
+		Op: isa.FromOp(ops.OpNot), Dst: v2.Handle(), Src: [3]uint16{h},
+		Size: 4, Width: 8,
+	}); err == nil {
+		t.Error("a stale handle must fail loudly, not resolve to a newer object")
+	}
+	// Exhaust the fresh range: allocation falls back to recycled
+	// handles, and only an empty free list is an error.
+	sys.handles.next = ^uint16(0)
+	sys.handles.free = []uint16{h}
+	v3, err := sys.AllocVector(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Handle() != h {
+		t.Errorf("exhausted fresh range must recycle freed handle %d, got %d", h, v3.Handle())
+	}
+	if _, err := sys.AllocVector(4, 8); err == nil {
+		t.Fatal("handle exhaustion must be an error")
+	}
+	if _, err := v2.View(0, 4); err == nil {
+		t.Fatal("view creation under handle exhaustion must be an error")
+	}
+	if _, ok := sys.objects[v2.Handle()]; !ok {
+		t.Error("failed allocation must not disturb live objects")
+	}
+	// Freeing returns capacity.
+	v3.Free()
+	if _, err := sys.AllocVector(4, 8); err != nil {
+		t.Errorf("allocation must succeed again after a free: %v", err)
+	}
+}
+
+// TestRunRejectsOverlappingViewOperand covers the aliasing hole: a View
+// of the destination is a distinct *Vector, so a pointer compare lets
+// it through even though it physically shares the destination's rows.
+func TestRunRejectsOverlappingViewOperand(t *testing.T) {
+	sys := testSystem(t)
+	n, w := 64, 16
+	a, _ := sys.AllocVector(n, w)
+	dst, _ := sys.AllocVector(n, w)
+	if err := a.Store(make([]uint64, n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run("addition", dst, a, dst); err == nil {
+		t.Error("dst as a direct source must be rejected")
+	}
+	alias, err := dst.View(0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run("addition", dst, a, alias); err == nil {
+		t.Error("a view overlapping the destination's rows must be rejected")
+	}
+	// A view of a *different* vector stays legal (the existing free
+	// bit-shift idiom).
+	shifted, err := a.View(0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shifted.Store(make([]uint64, n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run("addition", dst, a, shifted); err != nil {
+		t.Errorf("non-overlapping view operand must be accepted: %v", err)
 	}
 }
