@@ -1,0 +1,59 @@
+package simdram
+
+import (
+	"reflect"
+	"testing"
+
+	"simdram/internal/ctrl"
+)
+
+// TestBatchStatsMirrorsCtrl enforces the "keep the fields in sync"
+// contract on the public BatchStats: it must stay field-for-field
+// identical to ctrl.BatchStats (same names, same types, same order), so
+// the facade's copy in ExecBatch can never silently drop a stat the
+// engine starts reporting.
+func TestBatchStatsMirrorsCtrl(t *testing.T) {
+	pub := reflect.TypeOf(BatchStats{})
+	internal := reflect.TypeOf(ctrl.BatchStats{})
+	if pub.NumField() != internal.NumField() {
+		t.Fatalf("BatchStats has %d fields, ctrl.BatchStats has %d — the facade copy in ExecBatch is out of sync",
+			pub.NumField(), internal.NumField())
+	}
+	for i := 0; i < pub.NumField(); i++ {
+		pf, inf := pub.Field(i), internal.Field(i)
+		if pf.Name != inf.Name {
+			t.Errorf("field %d: public %q vs ctrl %q", i, pf.Name, inf.Name)
+		}
+		if pf.Type != inf.Type {
+			t.Errorf("field %s: public type %v vs ctrl type %v", pf.Name, pf.Type, inf.Type)
+		}
+	}
+}
+
+// TestSpeedupZeroPath pins the explicit zero-critical-path convention
+// shared by all three stats types: an all-zero batch is neutral (1),
+// while BusyNs > 0 with a zero path is inconsistent and reports 0.
+func TestSpeedupZeroPath(t *testing.T) {
+	cases := []struct {
+		name           string
+		busy, critical float64
+		want           float64
+	}{
+		{"empty batch", 0, 0, 1},
+		{"inconsistent", 100, 0, 0},
+		{"normal", 100, 25, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := (BatchStats{BusyNs: tc.busy, CriticalPathNs: tc.critical}).Speedup(); got != tc.want {
+				t.Errorf("BatchStats.Speedup() = %v, want %v", got, tc.want)
+			}
+			if got := (ctrl.BatchStats{BusyNs: tc.busy, CriticalPathNs: tc.critical}).Speedup(); got != tc.want {
+				t.Errorf("ctrl.BatchStats.Speedup() = %v, want %v", got, tc.want)
+			}
+			if got := (ClusterBatchStats{BusyNs: tc.busy, CriticalPathNs: tc.critical}).Speedup(); got != tc.want {
+				t.Errorf("ClusterBatchStats.Speedup() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -324,9 +324,16 @@ type ClusterBatchStats struct {
 // gain over one System actually holding all the data (which also
 // overlaps each instruction's segments across its banks); use the
 // measured single-System baseline for that comparison.
+//
+// A zero critical path makes the ratio undefined; an all-zero batch
+// reports 1 (no work, no gain) and a zero path with nonzero busy time
+// reports 0, the same convention as BatchStats.Speedup.
 func (s ClusterBatchStats) Speedup() float64 {
 	if s.CriticalPathNs == 0 {
-		return 1
+		if s.BusyNs == 0 {
+			return 1
+		}
+		return 0
 	}
 	return s.BusyNs / s.CriticalPathNs
 }

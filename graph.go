@@ -1,0 +1,639 @@
+package simdram
+
+import (
+	"simdram/internal/graph"
+	"simdram/internal/isa"
+	"simdram/internal/ops"
+)
+
+// Expr is a lazy vector expression: a node of a dataflow DAG that
+// nothing executes until Materialize (or Compile + Execute) lowers the
+// whole graph to one batched bbop program. Combinators build new
+// expressions without touching DRAM:
+//
+//	a, b, c := sys.Lazy(va), sys.Lazy(vb), sys.Lazy(vc)
+//	e := a.Add(b).Mul(c.Sub(a))
+//	stats, _ := sys.Materialize(e)
+//	out, _ := e.Result().Load()
+//
+// The compiler folds constant subexpressions, merges common
+// subexpressions, drops dead nodes, orders instructions with a
+// cost-model-driven list schedule, and packs intermediates into a
+// small pool of reused temporary-row vectors instead of allocating one
+// per node. Expressions are cheap immutable trees: sharing an *Expr
+// between two larger expressions shares the computation, and even
+// structurally duplicated subtrees are merged by CSE at compile time.
+type Expr struct {
+	kind   exprKind
+	opName string
+	args   []*Expr
+	leaf   *Vector
+	sleaf  *ShardedVector
+	val    uint64
+	width  int
+
+	result  *Vector
+	sresult *ShardedVector
+}
+
+type exprKind uint8
+
+const (
+	exprLeaf exprKind = iota
+	exprShardLeaf
+	exprConst
+	exprOp
+)
+
+// Lazy wraps a vector as a lazy expression leaf. The vector must
+// belong to this System and stay live until the expression is
+// materialized.
+func (s *System) Lazy(v *Vector) *Expr { return &Expr{kind: exprLeaf, leaf: v} }
+
+// Scalar returns a constant expression: the value splatted across
+// every lane at the given width. Operations whose arguments are all
+// constants fold at compile time through the operation's golden model;
+// constants that survive folding materialize as one stored vector each
+// (deduplicated by CSE), never as DRAM compute.
+func Scalar(val uint64, width int) *Expr {
+	return &Expr{kind: exprConst, val: val, width: width}
+}
+
+// Apply builds the expression op(e, more...) for any operation in the
+// catalog — built-in or registered through DefineOperation. The
+// receiver is operand 0. Unknown names and arity or width mismatches
+// are reported at compile time.
+func (e *Expr) Apply(opName string, more ...*Expr) *Expr {
+	return &Expr{kind: exprOp, opName: opName, args: append([]*Expr{e}, more...)}
+}
+
+// Add returns e + o (mod 2^w).
+func (e *Expr) Add(o *Expr) *Expr { return e.Apply("addition", o) }
+
+// Sub returns e - o (mod 2^w).
+func (e *Expr) Sub(o *Expr) *Expr { return e.Apply("subtraction", o) }
+
+// Mul returns e × o; the result carries the full product width (2w
+// capped at 64).
+func (e *Expr) Mul(o *Expr) *Expr { return e.Apply("multiplication", o) }
+
+// Div returns e / o (unsigned; x/0 = all-ones).
+func (e *Expr) Div(o *Expr) *Expr { return e.Apply("division", o) }
+
+// Mod returns e mod o (unsigned; x mod 0 = x).
+func (e *Expr) Mod(o *Expr) *Expr { return e.Apply("modulo", o) }
+
+// Max returns the unsigned maximum of e and o.
+func (e *Expr) Max(o *Expr) *Expr { return e.Apply("max", o) }
+
+// Min returns the unsigned minimum of e and o.
+func (e *Expr) Min(o *Expr) *Expr { return e.Apply("min", o) }
+
+// Equal returns the 1-bit predicate e == o.
+func (e *Expr) Equal(o *Expr) *Expr { return e.Apply("equal", o) }
+
+// Greater returns the 1-bit predicate e > o (unsigned).
+func (e *Expr) Greater(o *Expr) *Expr { return e.Apply("greater", o) }
+
+// GreaterEqual returns the 1-bit predicate e >= o (unsigned).
+func (e *Expr) GreaterEqual(o *Expr) *Expr { return e.Apply("greater_equal", o) }
+
+// Abs returns |e| under the signed two's-complement reading.
+func (e *Expr) Abs() *Expr { return e.Apply("abs") }
+
+// Not returns ~e.
+func (e *Expr) Not() *Expr { return e.Apply("not") }
+
+// ReLU returns e < 0 ? 0 : e under the signed reading.
+func (e *Expr) ReLU() *Expr { return e.Apply("relu") }
+
+// BitCount returns the population count of e (ceil(log2(w+1)) bits).
+func (e *Expr) BitCount() *Expr { return e.Apply("bitcount") }
+
+// ShiftLeft returns e << 1 with zero fill.
+func (e *Expr) ShiftLeft() *Expr { return e.Apply("shift_left") }
+
+// ShiftRight returns e >> 1 with zero fill.
+func (e *Expr) ShiftRight() *Expr { return e.Apply("shift_right") }
+
+// IfElse returns onTrue or onFalse per lane, selected by e, which must
+// be a 1-bit predicate (e.g. the result of Greater).
+func (e *Expr) IfElse(onTrue, onFalse *Expr) *Expr {
+	return onTrue.Apply("if_else", onFalse, e)
+}
+
+// Result returns the vector holding this expression's value after a
+// System materialization. For a root that is itself a plain leaf it is
+// the leaf vector; otherwise it is a fresh vector the caller owns and
+// should Free. Nil before the first Materialize/Compile.
+func (e *Expr) Result() *Vector { return e.result }
+
+// ShardedResult is Result for cluster materializations.
+func (e *Expr) ShardedResult() *ShardedVector { return e.sresult }
+
+// CompileOptions disables individual compiler passes — the knobs the
+// differential tests and the naive-lowering baseline use. The zero
+// value runs every pass.
+type CompileOptions struct {
+	NoFold     bool // keep constant subexpressions as DRAM compute
+	NoCSE      bool // keep structurally duplicated subexpressions
+	NoDCE      bool // emit unreachable nodes too
+	NoReuse    bool // one fresh temporary per intermediate, no lifetime reuse
+	NoSchedule bool // construction order instead of the cost-driven list schedule
+}
+
+// NaiveCompile disables every pass: one instruction and one fresh
+// temporary per expression node, in construction order — the per-node
+// baseline the optimized compiler is measured against.
+var NaiveCompile = CompileOptions{NoFold: true, NoCSE: true, NoDCE: true, NoReuse: true, NoSchedule: true}
+
+// CompileStats reports what the graph compiler did with an expression
+// DAG.
+type CompileStats struct {
+	// Nodes is the operation-node count before any pass ran.
+	Nodes int
+	// Folded is how many operation nodes constant folding replaced.
+	Folded int
+	// CSEEliminated is how many duplicate nodes merged onto their first
+	// occurrence.
+	CSEEliminated int
+	// DCEEliminated is how many unreachable operation/constant nodes
+	// were dropped.
+	DCEEliminated int
+	// Instructions is the emitted bbop instruction count.
+	Instructions int
+	// TempRowsNaive is the DRAM rows per subarray that one fresh
+	// temporary per intermediate would claim.
+	TempRowsNaive int
+	// TempRowsPooled is the rows the lifetime-reuse slot pool claims.
+	TempRowsPooled int
+	// TempSlots is the number of pooled temporary vectors allocated.
+	TempSlots int
+	// ConstVectors is the number of splatted constant vectors.
+	ConstVectors int
+}
+
+// TempRowsSaved returns the fraction of temporary rows lifetime reuse
+// avoided allocating (0 when there are no intermediates).
+func (s CompileStats) TempRowsSaved() float64 {
+	if s.TempRowsNaive == 0 {
+		return 0
+	}
+	return 1 - float64(s.TempRowsPooled)/float64(s.TempRowsNaive)
+}
+
+// compileEnv is the shared expression-to-IR front end: it memoizes
+// *Expr pointers onto graph nodes (so shared subtrees become shared
+// nodes before CSE even runs) and records which leaf backs each input
+// node.
+type compileEnv struct {
+	sys *System // exactly one of sys/cl is set
+	cl  *Cluster
+
+	g      *graph.Graph
+	memo   map[*Expr]graph.NodeID
+	leafOf map[graph.NodeID]*Expr
+	first  *Expr // first vector leaf: defines n and placement
+	n      int
+}
+
+func (env *compileEnv) node(e *Expr) (graph.NodeID, error) {
+	if e == nil {
+		return 0, errorf("graph: nil expression")
+	}
+	if id, ok := env.memo[e]; ok {
+		return id, nil
+	}
+	var id graph.NodeID
+	var err error
+	switch e.kind {
+	case exprLeaf:
+		if env.cl != nil {
+			return 0, errorf("graph: plain Vector leaf in a Cluster expression (use Cluster.Lazy)")
+		}
+		v := e.leaf
+		if v == nil || v.freed {
+			return 0, errorf("graph: leaf vector is nil or freed")
+		}
+		if v.sys != env.sys {
+			return 0, errorf("graph: leaf vector belongs to a different System")
+		}
+		if env.first == nil {
+			env.first, env.n = e, v.n
+		} else if v.n != env.n {
+			return 0, errorf("graph: leaf has %d elements, expression has %d", v.n, env.n)
+		} else if !v.aligned(env.first.leaf) {
+			return 0, errorf("graph: leaf vectors are not segment-aligned (allocate them with the same length and placement)")
+		}
+		if id, err = env.g.Input(v.width); err != nil {
+			return 0, err
+		}
+		env.leafOf[id] = e
+	case exprShardLeaf:
+		if env.sys != nil {
+			return 0, errorf("graph: ShardedVector leaf in a System expression (use System.Lazy)")
+		}
+		v := e.sleaf
+		if v == nil || v.freed {
+			return 0, errorf("graph: leaf sharded vector is nil or freed")
+		}
+		if v.cl != env.cl {
+			return 0, errorf("graph: leaf sharded vector belongs to a different Cluster")
+		}
+		if env.first == nil {
+			env.first, env.n = e, v.n
+		} else if v.n != env.n {
+			return 0, errorf("graph: leaf has %d elements, expression has %d", v.n, env.n)
+		} else if !v.plan.Equal(env.first.sleaf.plan) {
+			return 0, errorf("graph: leaf sharded vectors are not shard-aligned (allocate operand groups with the same length and placement)")
+		}
+		if id, err = env.g.Input(v.width); err != nil {
+			return 0, err
+		}
+		env.leafOf[id] = e
+	case exprConst:
+		if id, err = env.g.Const(e.val, e.width); err != nil {
+			return 0, err
+		}
+	case exprOp:
+		d, err := ops.ByName(e.opName)
+		if err != nil {
+			return 0, err
+		}
+		argIDs := make([]graph.NodeID, len(e.args))
+		for k, a := range e.args {
+			if argIDs[k], err = env.node(a); err != nil {
+				return 0, err
+			}
+		}
+		if id, err = env.g.Op(d, argIDs...); err != nil {
+			return 0, err
+		}
+	default:
+		return 0, errorf("graph: unknown expression kind %d", e.kind)
+	}
+	env.memo[e] = id
+	return id, nil
+}
+
+// planExprs runs the backend-independent half of compilation: build the
+// IR from the expression trees, run the enabled passes, schedule, and
+// assign temporaries to slots.
+func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr) (*compileEnv, graph.Assignment, []graph.NodeID, CompileStats, error) {
+	var stats CompileStats
+	if len(exprs) == 0 {
+		return nil, graph.Assignment{}, nil, stats, errorf("graph: nothing to materialize")
+	}
+	env := &compileEnv{
+		sys: sys, cl: cl,
+		g:      graph.New(),
+		memo:   map[*Expr]graph.NodeID{},
+		leafOf: map[graph.NodeID]*Expr{},
+	}
+	for _, e := range exprs {
+		id, err := env.node(e)
+		if err != nil {
+			return nil, graph.Assignment{}, nil, stats, err
+		}
+		env.g.MarkRoot(id)
+	}
+	if env.first == nil {
+		return nil, graph.Assignment{}, nil, stats, errorf("graph: expression has no vector leaf, element count unknown (combine constants with at least one Lazy vector)")
+	}
+	for id := 0; id < env.g.Len(); id++ {
+		if env.g.Node(graph.NodeID(id)).Kind == graph.KindOp {
+			stats.Nodes++
+		}
+	}
+	if !opts.NoFold {
+		stats.Folded = env.g.FoldConstants()
+	}
+	if !opts.NoCSE {
+		stats.CSEEliminated = env.g.CSE()
+	}
+	if !opts.NoDCE {
+		stats.DCEEliminated = env.g.DCE()
+	}
+	var cfg Config
+	if sys != nil {
+		cfg = sys.cfg
+	} else {
+		cfg = cl.cfg.Channel
+	}
+	var sched []graph.NodeID
+	if opts.NoSchedule {
+		sched = env.g.ProgramOrder()
+	} else {
+		sched = env.g.Schedule(func(d ops.Def, w, n int) float64 {
+			c, err := ops.CostNs(d, w, n, cfg.Variant, cfg.DRAM.Timing)
+			if err != nil {
+				return 1 // synthesis failures resurface with context at execution
+			}
+			return c
+		})
+	}
+	asg := graph.Assign(env.g, sched, !opts.NoReuse)
+	stats.Instructions = len(sched)
+	stats.TempRowsNaive = asg.NaiveRows
+	stats.TempRowsPooled = asg.PooledRows
+	stats.TempSlots = len(asg.SlotWidths)
+	for id := 0; id < env.g.Len(); id++ {
+		n := env.g.Node(graph.NodeID(id))
+		if n.Kind == graph.KindConst && env.g.Alive(graph.NodeID(id)) && !n.Root {
+			stats.ConstVectors++
+		}
+	}
+	return env, asg, sched, stats, nil
+}
+
+// splat returns n copies of val.
+func splat(val uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = val
+	}
+	return out
+}
+
+// graphObj is the slice of the Vector/ShardedVector surface the
+// shared lowering back end needs: one implementation of the slot,
+// constant, and result bookkeeping serves both the System and the
+// Cluster compiler.
+type graphObj interface {
+	Handle() uint16
+	Store([]uint64) error
+	Free()
+}
+
+// lowered is a compiled graph bound to storage: the bbop program plus
+// the temporary, constant, and result objects it runs against.
+type lowered struct {
+	prog    isa.Program
+	temps   []graphObj // pooled slots and constant splats
+	results []compiledResult
+}
+
+type compiledResult struct {
+	expr  *Expr
+	obj   graphObj
+	owned bool // allocated by the compiler (as opposed to a leaf)
+}
+
+// lowerPlan binds a planned graph to storage and lowers it: pooled
+// slot objects for intermediates, dedicated objects for roots (a node
+// rooted twice shares one), splat-stored objects for surviving
+// constants, then the bbop program over their handles. alloc is the
+// backend's placement-aligned allocator; leafObj resolves an input
+// node to its caller-provided storage. On any failure everything
+// allocated so far is released. Result pointers on the expressions are
+// NOT set here — callers publish them only after the whole compilation
+// succeeds, so a failed Compile never leaves an expression pointing at
+// a freed vector.
+func lowerPlan(env *compileEnv, asg graph.Assignment, sched []graph.NodeID, exprs []*Expr,
+	alloc func(width int) (graphObj, error),
+	leafObj func(id graph.NodeID) graphObj,
+) (*lowered, error) {
+	lw := &lowered{}
+	fail := func(err error) (*lowered, error) {
+		for _, o := range lw.temps {
+			o.Free()
+		}
+		for _, r := range lw.results {
+			if r.owned {
+				r.obj.Free()
+			}
+		}
+		return nil, err
+	}
+	g, n := env.g, env.n
+
+	slotObj := make([]graphObj, len(asg.SlotWidths))
+	for i, w := range asg.SlotWidths {
+		o, err := alloc(w)
+		if err != nil {
+			return fail(errorf("graph: temporary slot %d: %w", i, err))
+		}
+		slotObj[i] = o
+		lw.temps = append(lw.temps, o)
+	}
+
+	// Dedicated storage for the roots, allocated before the shared
+	// constant pool so a root constant gets caller-owned storage.
+	rootObj := map[graph.NodeID]graphObj{}
+	for i, rid := range g.Roots() {
+		var obj graphObj
+		owned := false
+		if o, ok := rootObj[rid]; ok {
+			obj, owned = o, true // same node rooted twice shares one result
+		} else {
+			node := g.Node(rid)
+			switch node.Kind {
+			case graph.KindInput:
+				obj = leafObj(rid)
+			default:
+				o, err := alloc(node.Width)
+				if err != nil {
+					return fail(errorf("graph: result %d: %w", i, err))
+				}
+				if node.Kind == graph.KindConst {
+					if err := o.Store(splat(node.Val, n)); err != nil {
+						o.Free()
+						return fail(err)
+					}
+				}
+				obj, owned = o, true
+				rootObj[rid] = o
+			}
+		}
+		lw.results = append(lw.results, compiledResult{expr: exprs[i], obj: obj, owned: owned})
+	}
+
+	// Splat-stored objects for live non-root constants.
+	constObj := map[graph.NodeID]graphObj{}
+	for id := 0; id < g.Len(); id++ {
+		nid := graph.NodeID(id)
+		node := g.Node(nid)
+		if node.Kind != graph.KindConst || !g.Alive(nid) || node.Root {
+			continue
+		}
+		o, err := alloc(node.Width)
+		if err != nil {
+			return fail(errorf("graph: constant vector: %w", err))
+		}
+		lw.temps = append(lw.temps, o)
+		if err := o.Store(splat(node.Val, n)); err != nil {
+			return fail(err)
+		}
+		constObj[nid] = o
+	}
+
+	handle := func(id graph.NodeID) (uint16, error) {
+		if o, ok := rootObj[id]; ok {
+			return o.Handle(), nil
+		}
+		node := g.Node(id)
+		switch node.Kind {
+		case graph.KindInput:
+			return leafObj(id).Handle(), nil
+		case graph.KindConst:
+			return constObj[id].Handle(), nil
+		default:
+			slot, ok := asg.SlotOf[id]
+			if !ok {
+				return 0, errorf("graph: intermediate node %d has no slot", id)
+			}
+			return slotObj[slot].Handle(), nil
+		}
+	}
+	prog, err := graph.Lower(g, sched, handle, uint32(n))
+	if err != nil {
+		return fail(err)
+	}
+	lw.prog = prog
+	return lw, nil
+}
+
+// publish points each root expression at its result storage — called
+// once compilation has fully succeeded.
+func (lw *lowered) publish() {
+	for _, r := range lw.results {
+		switch v := r.obj.(type) {
+		case *Vector:
+			r.expr.result, r.expr.sresult = v, nil
+		case *ShardedVector:
+			r.expr.sresult, r.expr.result = v, nil
+		}
+	}
+}
+
+// freeTemps releases the pooled slots and constant splats.
+func (lw *lowered) freeTemps() {
+	for _, o := range lw.temps {
+		o.Free()
+	}
+	lw.temps = nil
+}
+
+// discardResults releases compiler-owned result storage and clears the
+// expressions' result pointers — the cleanup path when execution fails
+// and the results never became valid.
+func (lw *lowered) discardResults() {
+	for _, r := range lw.results {
+		if r.owned {
+			r.obj.Free()
+		}
+		switch v := r.obj.(type) {
+		case *Vector:
+			if r.expr.result == v {
+				r.expr.result = nil
+			}
+		case *ShardedVector:
+			if r.expr.sresult == v {
+				r.expr.sresult = nil
+			}
+		}
+	}
+	lw.results = nil
+}
+
+// Compiled is a lazily built expression graph lowered for one System:
+// the batched bbop program plus the temporary, constant, and result
+// vectors it runs against. Execute may be called repeatedly (results
+// are recomputed in place); Free releases the pooled temporaries and
+// constants while the result vectors stay with the caller.
+type Compiled struct {
+	sys   *System
+	lw    *lowered
+	stats CompileStats
+	freed bool
+}
+
+// Compile lowers the expressions with every optimization pass enabled.
+func (s *System) Compile(exprs ...*Expr) (*Compiled, error) {
+	return s.CompileWith(CompileOptions{}, exprs...)
+}
+
+// CompileWith lowers the expressions with selected passes disabled —
+// primarily for differential testing and baseline measurement; regular
+// callers want Compile or Materialize.
+func (s *System) CompileWith(opts CompileOptions, exprs ...*Expr) (*Compiled, error) {
+	env, asg, sched, stats, err := planExprs(s, nil, opts, exprs)
+	if err != nil {
+		return nil, err
+	}
+	origin := env.first.leaf.origin()
+	lw, err := lowerPlan(env, asg, sched, exprs,
+		func(width int) (graphObj, error) { return s.allocVector(env.n, width, origin) },
+		func(id graph.NodeID) graphObj { return env.leafOf[id].leaf },
+	)
+	if err != nil {
+		return nil, err
+	}
+	lw.publish()
+	return &Compiled{sys: s, lw: lw, stats: stats}, nil
+}
+
+// Materialize compiles and executes the expressions as one batch,
+// releasing every temporary afterwards. Each expression's value is then
+// available through Result; result vectors are owned by the caller
+// (Free them when done). On error no results are retained.
+func (s *System) Materialize(exprs ...*Expr) (BatchStats, error) {
+	cp, err := s.Compile(exprs...)
+	if err != nil {
+		return BatchStats{}, err
+	}
+	st, err := cp.Execute()
+	cp.Free()
+	if err != nil {
+		cp.discardResults()
+		return BatchStats{}, err
+	}
+	return st, nil
+}
+
+// Stats reports what the compiler did with the graph.
+func (cp *Compiled) Stats() CompileStats { return cp.stats }
+
+// Program returns a copy of the lowered bbop program — what Execute
+// hands to ExecBatch, and what a serial baseline can feed through Exec
+// one instruction at a time.
+func (cp *Compiled) Program() isa.Program {
+	return append(isa.Program(nil), cp.lw.prog...)
+}
+
+// Execute runs the compiled batch. Results become valid once it
+// returns; calling it again recomputes them in place.
+func (cp *Compiled) Execute() (BatchStats, error) {
+	if cp.freed {
+		return BatchStats{}, errorf("graph: compiled program already freed")
+	}
+	if len(cp.lw.prog) == 0 {
+		// Every root was a leaf or a folded constant: the results are
+		// already materialized by allocation/splat alone.
+		return BatchStats{}, nil
+	}
+	return cp.sys.ExecBatch(cp.lw.prog)
+}
+
+// Free releases the compiler-allocated temporaries and constant splats.
+// Result vectors are untouched — they belong to the caller.
+func (cp *Compiled) Free() {
+	if cp.freed {
+		return
+	}
+	cp.freed = true
+	cp.lw.freeTemps()
+}
+
+// discardResults releases compiler-owned result vectors and clears the
+// expressions' result pointers — the cleanup path when execution fails
+// and the results never became valid.
+func (cp *Compiled) discardResults() { cp.lw.discardResults() }
+
+// origin returns the bank-major segment origin of the vector's first
+// segment — the placement a compiler-allocated temporary must share
+// with the expression's leaves to be segment-aligned with them.
+func (v *Vector) origin() int {
+	seg := v.segs[0]
+	return seg.bank + seg.sub*v.sys.cfg.DRAM.Banks
+}

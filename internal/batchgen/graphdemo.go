@@ -1,0 +1,73 @@
+package batchgen
+
+import (
+	"math/rand"
+
+	"simdram"
+)
+
+// GraphExprs builds the expression workload behind simdram-bench
+// -graph: four full-lane 8-bit input vectors and four root
+// expressions, each a chain over a deliberately re-built common prefix.
+// The shape gives every compiler pass real work:
+//
+//   - every root rebuilds a.Add(b).Max(c) structurally, so CSE merges
+//     three duplicates of each prefix node;
+//   - each chain's intermediates die at the next link, so lifetime
+//     reuse ping-pongs a couple of slots where naive lowering
+//     allocates one fresh temporary per node;
+//   - a Scalar(3)+Scalar(4) subtree folds at compile time and the
+//     surviving constant splats once.
+//
+// The whole graph shares one placement group (the leaves' segments),
+// so measured gains come from the compiler — fewer instructions and
+// fewer temporary rows — not from bank spreading.
+func GraphExprs(sys *simdram.System, seed int64) ([]*simdram.Expr, error) {
+	const width = 8
+	n := sys.Config().DRAM.Cols // one full segment: every lane computes
+	rng := rand.New(rand.NewSource(seed))
+	leaves := make([]*simdram.Expr, 4)
+	for i := range leaves {
+		v, err := sys.AllocVector(n, width)
+		if err != nil {
+			return nil, err
+		}
+		data := make([]uint64, n)
+		for j := range data {
+			data[j] = uint64(rng.Uint32()) & 0xFF
+		}
+		if err := v.Store(data); err != nil {
+			return nil, err
+		}
+		leaves[i] = sys.Lazy(v)
+	}
+	a, b, c, d := leaves[0], leaves[1], leaves[2], leaves[3]
+	seven := simdram.Scalar(3, width).Add(simdram.Scalar(4, width)) // folds to 7
+	roots := make([]*simdram.Expr, 4)
+	for r := range roots {
+		// Each chain link is two operations; three links keep the naive
+		// per-node footprint (one fresh temporary per node, all in one
+		// placement group) inside a subarray's data rows.
+		t := a.Add(b).Max(c) // rebuilt per root: CSE fodder
+		for i := 0; i < 3; i++ {
+			// Rotate the link pattern by root so only the shared prefix
+			// merges, not the whole chain. The rotation period must be
+			// at least the root count, or one root replays another's
+			// exact link sequence and CSE merges the whole chain.
+			switch (i + r) % 4 {
+			case 0:
+				t = t.Sub(d).Add(seven)
+			case 1:
+				t = t.Min(a).Add(b)
+			case 2:
+				t = t.Max(d).Sub(c)
+			default:
+				t = t.Add(d).Min(b)
+			}
+		}
+		// Differentiate the roots so none of the chains merge whole.
+		t = t.Add(simdram.Scalar(uint64(r), width))
+		roots[r] = t
+	}
+	return roots, nil
+}

@@ -36,10 +36,18 @@ type BatchStats struct {
 	EnergyPJ       float64
 }
 
-// Speedup returns the modeled gain of batched over serial issue.
+// Speedup returns the modeled gain of batched over serial issue:
+// BusyNs / CriticalPathNs. A zero critical path makes the ratio
+// undefined; an all-zero batch (nothing executed) reports 1 — no work,
+// no gain — while a zero path with nonzero busy time reports 0, so
+// inconsistent stats surface as an impossible speedup instead of
+// masquerading as neutral.
 func (s BatchStats) Speedup() float64 {
 	if s.CriticalPathNs == 0 {
-		return 1
+		if s.BusyNs == 0 {
+			return 1
+		}
+		return 0
 	}
 	return s.BusyNs / s.CriticalPathNs
 }

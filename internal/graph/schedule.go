@@ -1,0 +1,101 @@
+package graph
+
+import "simdram/internal/ops"
+
+// CostFn estimates the latency of one operation instruction: d applied
+// at operation width w over n operands. The facade plugs in
+// ops.CostNs under the system's own timing constants, so scheduling
+// decisions use the same per-op timings execution bills.
+type CostFn func(d ops.Def, width, n int) float64
+
+// ProgramOrder returns the live operation nodes in construction order —
+// the unoptimized schedule naive lowering uses. Construction order is a
+// valid topological order because arguments always precede their users.
+func (g *Graph) ProgramOrder() []NodeID {
+	var order []NodeID
+	for id := range g.nodes {
+		if g.nodes[id].Kind == KindOp && g.Alive(NodeID(id)) {
+			order = append(order, NodeID(id))
+		}
+	}
+	return order
+}
+
+// Schedule returns the live operation nodes in a cost-driven list
+// schedule: each node's priority is its own cost plus the most
+// expensive chain of dependents below it (its upward rank), and among
+// ready nodes the highest-priority one issues first, ties broken by ID
+// for determinism. Critical chains therefore start as early as the
+// hazard graph allows, which is what lets the batched engine overlap
+// the cheap side chains against them; it also tends to shorten
+// intermediate lifetimes on the critical chain, helping slot reuse.
+// A nil cost schedules with unit costs.
+func (g *Graph) Schedule(cost CostFn) []NodeID {
+	if cost == nil {
+		cost = func(ops.Def, int, int) float64 { return 1 }
+	}
+	n := len(g.nodes)
+	ownCost := make([]float64, n)
+	users := make([][]NodeID, n)
+	pendingArgs := make([]int, n) // unscheduled live op arguments
+	for id := 0; id < n; id++ {
+		node := &g.nodes[id]
+		if node.Kind != KindOp || !g.Alive(NodeID(id)) {
+			continue
+		}
+		ownCost[id] = cost(node.Op, g.OpWidth(NodeID(id)), len(node.Args))
+		seen := map[NodeID]bool{}
+		for _, a := range node.Args {
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			users[a] = append(users[a], NodeID(id))
+			if g.nodes[a].Kind == KindOp && g.Alive(a) {
+				pendingArgs[id]++
+			}
+		}
+	}
+	// Upward rank: own cost plus the costliest dependent chain. Users
+	// always have higher IDs than their arguments, so one descending
+	// sweep resolves every rank.
+	rank := make([]float64, n)
+	for id := n - 1; id >= 0; id-- {
+		if g.nodes[id].Kind != KindOp || !g.Alive(NodeID(id)) {
+			continue
+		}
+		best := 0.0
+		for _, u := range users[id] {
+			if rank[u] > best {
+				best = rank[u]
+			}
+		}
+		rank[id] = ownCost[id] + best
+	}
+	var ready []NodeID
+	for id := 0; id < n; id++ {
+		if g.nodes[id].Kind == KindOp && g.Alive(NodeID(id)) && pendingArgs[id] == 0 {
+			ready = append(ready, NodeID(id))
+		}
+	}
+	var sched []NodeID
+	for len(ready) > 0 {
+		pick := 0
+		for i := 1; i < len(ready); i++ {
+			ri, rp := ready[i], ready[pick]
+			if rank[ri] > rank[rp] || (rank[ri] == rank[rp] && ri < rp) {
+				pick = i
+			}
+		}
+		id := ready[pick]
+		ready = append(ready[:pick], ready[pick+1:]...)
+		sched = append(sched, id)
+		for _, u := range users[id] {
+			pendingArgs[u]--
+			if pendingArgs[u] == 0 {
+				ready = append(ready, u)
+			}
+		}
+	}
+	return sched
+}

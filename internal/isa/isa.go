@@ -90,11 +90,16 @@ func (in Instruction) Validate() error {
 		return fmt.Errorf("isa: invalid opcode")
 	}
 	if in.Op != OpTrspInit {
-		if _, err := in.Op.ToOp(); err != nil {
+		code, err := in.Op.ToOp()
+		if err != nil {
 			return err
 		}
-		if op, _ := in.Op.ToOp(); int(op) >= len(ops.Catalog()) {
-			return fmt.Errorf("isa: opcode %d beyond operation catalog", in.Op)
+		// Look the code up rather than range-checking against the catalog
+		// length: user operations registered through RegisterCustom carry
+		// codes far above the built-in range, and they are first-class
+		// bbop targets (the framework's extensibility story).
+		if _, err := ops.ByCode(code); err != nil {
+			return fmt.Errorf("isa: opcode %d names no registered operation", in.Op)
 		}
 	}
 	if in.Width < 1 || in.Width > 64 {

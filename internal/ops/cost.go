@@ -1,0 +1,17 @@
+package ops
+
+import "simdram/internal/dram"
+
+// CostNs returns the modeled single-subarray latency of executing one
+// instruction of operation d at the given width and operand count — the
+// per-op cost a schedule optimizer weighs instructions with. The number
+// comes from the operation's own (cached) μProgram under the module's
+// timing constants, so the scheduler plans with the same measured
+// per-op timings the execution engine bills, not with guesses.
+func CostNs(d Def, width, n int, variant Variant, t dram.Timing) (float64, error) {
+	s, err := SynthesizeCached(d, width, n, variant)
+	if err != nil {
+		return 0, err
+	}
+	return s.Program.LatencyNs(t), nil
+}
