@@ -3,6 +3,7 @@ package simdram
 import (
 	"simdram/internal/cluster"
 	"simdram/internal/ctrl"
+	"simdram/internal/graph"
 	"simdram/internal/isa"
 	"simdram/internal/ops"
 )
@@ -59,6 +60,9 @@ type Cluster struct {
 	policy   cluster.Policy
 	objects  map[uint16]*ShardedVector
 	handles  handleSpace
+
+	// plans memoizes compiled expression shapes (see PlanCacheStats).
+	plans *graph.PlanCache
 }
 
 // NewCluster builds a cluster of cfg.Channels independent channels.
@@ -75,7 +79,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	default:
 		return nil, errorf("unknown placement policy %d", cfg.Placement)
 	}
-	c := &Cluster{cfg: cfg, policy: policy, objects: make(map[uint16]*ShardedVector)}
+	c := &Cluster{cfg: cfg, policy: policy, objects: make(map[uint16]*ShardedVector), plans: graph.NewPlanCache(DefaultPlanCacheSize)}
 	for i := 0; i < cfg.Channels; i++ {
 		sys, err := New(cfg.Channel)
 		if err != nil {

@@ -1,0 +1,132 @@
+// perfcheck is the CI performance-regression gate: it compares the
+// machine-readable metrics emitted by `simdram-bench -json` against
+// the committed baseline (BENCH_baseline.json) and fails when any
+// gated metric regresses beyond its tolerance.
+//
+// Usage:
+//
+//	perfcheck -baseline BENCH_baseline.json out1.json [out2.json ...]
+//
+// The baseline declares, per metric, the expected value, the
+// direction in which change is a regression ("lower" means lower is
+// better, so a rise regresses; "higher" the opposite), and optionally
+// a per-metric tolerance overriding the file-wide default. Only
+// deterministic metrics belong in the baseline — modeled latencies,
+// scaling ratios, cache hit rates — never wall-clock throughput,
+// which shared CI runners make unreliably noisy.
+//
+// A metric present in the baseline but absent from every result file
+// is an error: a silently skipped demo must not pass the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type baseline struct {
+	// Tolerance is the file-wide allowed relative regression (0.15 =
+	// 15%).
+	Tolerance float64                   `json:"tolerance"`
+	Metrics   map[string]baselineMetric `json:"metrics"`
+}
+
+type baselineMetric struct {
+	Value     float64 `json:"value"`
+	Direction string  `json:"direction"`           // "lower" or "higher" (is better)
+	Tolerance float64 `json:"tolerance,omitempty"` // overrides the file-wide value
+}
+
+type results struct {
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline thresholds")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "perfcheck: no result files given")
+		os.Exit(2)
+	}
+
+	var base baseline
+	if err := readJSON(*basePath, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	if base.Tolerance <= 0 {
+		base.Tolerance = 0.15
+	}
+
+	got := map[string]float64{}
+	for _, path := range flag.Args() {
+		var r results
+		if err := readJSON(path, &r); err != nil {
+			fmt.Fprintf(os.Stderr, "perfcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for name, v := range r.Metrics {
+			got[name] = v
+		}
+	}
+
+	names := make([]string, 0, len(base.Metrics))
+	for name := range base.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		bm := base.Metrics[name]
+		tol := bm.Tolerance
+		if tol <= 0 {
+			tol = base.Tolerance
+		}
+		v, ok := got[name]
+		if !ok {
+			fmt.Printf("MISSING  %-28s baseline %.4g — metric not in any result file\n", name, bm.Value)
+			failed = true
+			continue
+		}
+		var regressed bool
+		var bound float64
+		switch bm.Direction {
+		case "lower": // lower is better: a rise beyond tolerance regresses
+			bound = bm.Value * (1 + tol)
+			regressed = v > bound
+		case "higher": // higher is better: a drop beyond tolerance regresses
+			bound = bm.Value * (1 - tol)
+			regressed = v < bound
+		default:
+			fmt.Fprintf(os.Stderr, "perfcheck: metric %s: unknown direction %q\n", name, bm.Direction)
+			os.Exit(2)
+		}
+		status := "ok"
+		if regressed {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-9s%-28s %12.4g  (baseline %.4g, %s is better, tolerance %.0f%%)\n",
+			status, name, v, bm.Value, bm.Direction, 100*tol)
+	}
+	if failed {
+		fmt.Println("perfcheck: FAIL — performance regressed beyond tolerance (or a gated demo did not run)")
+		os.Exit(1)
+	}
+	fmt.Println("perfcheck: all gated metrics within tolerance")
+}
+
+func readJSON(path string, into any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

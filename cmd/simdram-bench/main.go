@@ -27,27 +27,39 @@ func main() {
 	batchRounds := flag.Int("batch-rounds", 20, "wall-clock averaging rounds for -batch")
 	clusterN := flag.Int("cluster", 0, "run the sharded-cluster demo with N channels instead of the paper experiments")
 	graphMode := flag.Bool("graph", false, "run the lazy expression-graph compiler demo instead of the paper experiments")
+	serve := flag.Bool("serve", false, "run the multi-tenant serving demo instead of the paper experiments")
+	tenants := flag.Int("tenants", 4, "tenants for -serve")
+	jobs := flag.Int("jobs", 32, "jobs per tenant for -serve")
+	inflight := flag.Int("inflight", 4, "in-flight jobs per tenant for -serve")
+	channels := flag.Int("channels", 4, "cluster channels for -serve")
+	jsonPath := flag.String("json", "", "write machine-readable demo metrics to this file (for scripts/perfcheck)")
 	flag.Parse()
 
-	if *graphMode {
-		if err := runGraphDemo(); err != nil {
+	m := metrics{}
+	runDemo := func(run func() error) {
+		err := run()
+		if werr := m.write(*jsonPath); werr != nil && err == nil {
+			err = werr
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if *serve {
+		runDemo(func() error { return runServeDemo(*tenants, *jobs, *inflight, *channels, m) })
+		return
+	}
+	if *graphMode {
+		runDemo(func() error { return runGraphDemo(m) })
 		return
 	}
 	if *clusterN > 0 {
-		if err := runClusterDemo(*clusterN); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		runDemo(func() error { return runClusterDemo(*clusterN, m) })
 		return
 	}
 	if *batch {
-		if err := runBatchDemo(*batchRounds); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		runDemo(func() error { return runBatchDemo(*batchRounds, m) })
 		return
 	}
 
@@ -91,6 +103,12 @@ func main() {
 		}
 		fmt.Println(tab.String())
 	}
+	// The paper experiments emit tables, not gated metrics; still
+	// honor -json so a caller's pipeline finds the file it asked for.
+	if err := m.write(*jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -102,7 +120,7 @@ func main() {
 // one instruction at a time. Near-linear scaling shows up as a critical
 // path close to 1/N of the baseline (the acceptance target is < 0.35×
 // at N = 4).
-func runClusterDemo(channels int) error {
+func runClusterDemo(channels int, m metrics) error {
 	cfg := simdram.DefaultClusterConfig(channels)
 	c, err := simdram.NewCluster(cfg)
 	if err != nil {
@@ -153,6 +171,10 @@ func runClusterDemo(channels int) error {
 		fmt.Printf("ch%d %.2f", i, u)
 	}
 	fmt.Println()
+	m["cluster.critical_path_ns"] = cst.CriticalPathNs
+	m["cluster.scaling_ratio"] = ratio
+	m["cluster.fabric_overlap"] = cst.Speedup()
+	m["cluster.utilization_skew"] = cst.UtilizationSkew()
 	if channels >= 4 && ratio >= 0.35 {
 		return fmt.Errorf("cluster scaling regressed: critical path %.3f× serial-equivalent, want < 0.35×", ratio)
 	}
@@ -167,7 +189,7 @@ func runClusterDemo(channels int) error {
 // reports what the compiler saved. The run fails if lifetime reuse
 // saves less than 30% of the naive temporary rows or CSE finds no
 // duplicates: those are the subsystem's regression guards.
-func runGraphDemo() error {
+func runGraphDemo(m metrics) error {
 	cfg := simdram.DefaultConfig()
 	sys, err := simdram.New(cfg)
 	if err != nil {
@@ -249,6 +271,11 @@ func runGraphDemo() error {
 		serialBusyNs, bst.CriticalPathNs, serialBusyNs/bst.CriticalPathNs)
 	fmt.Printf("  wall:               serial %v, batched %v\n", serialWall, batchWall)
 	fmt.Printf("  verified %d roots bit-identical to the naive serial execution\n", len(roots))
+	m["graph.critical_path_ns"] = bst.CriticalPathNs
+	m["graph.temp_row_reuse"] = saved
+	m["graph.instructions"] = float64(ost.Instructions)
+	m["graph.cse_eliminated"] = float64(ost.CSEEliminated)
+	m["graph.speedup_modeled"] = serialBusyNs / bst.CriticalPathNs
 	if ost.CSEEliminated == 0 {
 		return fmt.Errorf("graph demo regressed: CSE eliminated no duplicated subexpressions")
 	}
@@ -262,7 +289,7 @@ func runGraphDemo() error {
 // default 4-bank geometry: one independent 8-bit addition per
 // (bank, subarray), so the batched engine can overlap all banks while
 // the serial loop issues one instruction at a time.
-func runBatchDemo(rounds int) error {
+func runBatchDemo(rounds int, m metrics) error {
 	if rounds < 1 {
 		return fmt.Errorf("-batch-rounds must be >= 1, have %d", rounds)
 	}
@@ -314,5 +341,8 @@ func runBatchDemo(rounds int) error {
 		float64(batched.Microseconds())/1e3, float64(instrs)/batched.Seconds(), serial.Seconds()/batched.Seconds())
 	fmt.Printf("  modeled latency:    %10.2f ns serial-equivalent, %.2f ns critical path  (%.2f× bank overlap)\n",
 		st.BusyNs, st.CriticalPathNs, st.Speedup())
+	m["batch.critical_path_ns"] = st.CriticalPathNs
+	m["batch.speedup_modeled"] = st.Speedup()
+	m["batch.instr_per_sec"] = float64(instrs) / batched.Seconds()
 	return nil
 }

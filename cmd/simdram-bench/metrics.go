@@ -1,0 +1,29 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// metrics is the machine-readable output of one bench run: flat
+// metric name → value, written as {"metrics": {...}} when -json is
+// given. scripts/perfcheck compares a committed baseline against
+// these files; only deterministic metrics (modeled latencies, cache
+// hit rates, reuse fractions, scaling ratios) belong in the baseline —
+// wall-clock numbers (jobs/sec, milliseconds) are emitted for
+// inspection but are too noisy for a CI gate.
+type metrics map[string]float64
+
+// write emits the metrics file, or nothing when path is empty.
+func (m metrics) write(path string) error {
+	if path == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(struct {
+		Metrics metrics `json:"metrics"`
+	}{m}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"simdram"
+	"simdram/internal/batchgen"
+)
+
+// runServeDemo is the closed-loop throughput demo of the serving
+// layer: N tenants, each keeping K jobs in flight, each job one of a
+// small set of kernel request shapes (brightness, BitWeaving scan,
+// TPC-H Q6) with a fresh random payload. Every result is verified
+// against its pure-Go reference, so the demo is also a differential
+// test of the cached-plan path under real concurrency. It reports
+// jobs/sec, p50/p99 latency, plan-cache hit rate, and per-tenant
+// utilization, and fails if the hit rate on repeated shapes falls
+// below 90% — the serving subsystem's regression guard.
+func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
+	if tenants < 1 || jobs < 1 || inflight < 1 || channels < 1 {
+		return fmt.Errorf("-serve needs positive -tenants/-jobs/-inflight/-channels")
+	}
+	if inflight > jobs {
+		inflight = jobs
+	}
+	cfg := simdram.DefaultServerConfig(channels)
+	// Request-sized lanes: serving jobs are small; a slimmer geometry
+	// keeps the host-side transposition cost proportionate.
+	cfg.Channel.DRAM.Cols = 1024
+	cfg.QueueDepth = tenants*inflight + channels
+	srv, err := simdram.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	const elems = 1024
+	shapes := batchgen.ServeShapes(elems)
+
+	// Warm the cache serially: one cold compile per shape. After this
+	// every job in the timed loop is the same shape as a warmed plan,
+	// so the steady-state hit rate is deterministic.
+	for i, shape := range shapes {
+		req := shape.New(rand.New(rand.NewSource(int64(i))))
+		if err := req.RunVerify(context.Background(), srv, "warmup"); err != nil {
+			return fmt.Errorf("warmup shape %s: %w", shape.Name, err)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		hits      int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, tenants)
+	for t := 0; t < tenants; t++ {
+		t := t
+		tenant := fmt.Sprintf("tenant-%d", t)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// K closed loops per tenant: each submits, waits, verifies,
+			// repeats — K jobs in flight per tenant at all times.
+			var tw sync.WaitGroup
+			terrs := make([]error, inflight)
+			for k := 0; k < inflight; k++ {
+				k := k
+				share := jobs / inflight
+				if k < jobs%inflight {
+					share++
+				}
+				tw.Add(1)
+				go func() {
+					defer tw.Done()
+					rng := rand.New(rand.NewSource(int64(t*1000 + k)))
+					for i := 0; i < share; i++ {
+						shape := shapes[(i+k)%len(shapes)]
+						req := shape.New(rng)
+						jobStart := time.Now()
+						res, err := req.Submit(context.Background(), srv, tenant)
+						if err == nil {
+							err = req.Verify(res)
+						}
+						if err != nil {
+							terrs[k] = fmt.Errorf("%s job %d (%s): %w", tenant, i, shape.Name, err)
+							return
+						}
+						lat := time.Since(jobStart)
+						mu.Lock()
+						latencies = append(latencies, lat)
+						if res.Compile.CacheHit {
+							hits++
+						}
+						mu.Unlock()
+					}
+				}()
+			}
+			tw.Wait()
+			for _, err := range terrs {
+				if err != nil {
+					errs[t] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	st := srv.Stats()
+	total := len(latencies)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if total == 0 {
+			return 0
+		}
+		i := int(p * float64(total-1))
+		return latencies[i]
+	}
+	jobsPerSec := float64(total) / wall.Seconds()
+	hitRate := float64(hits) / float64(total)
+
+	fmt.Printf("serving demo: %d tenants × %d jobs (%d in flight each) over %d channels, %d shapes × %d elements\n",
+		tenants, jobs, inflight, channels, len(shapes), elems)
+	fmt.Printf("  throughput:         %8.0f jobs/s  (%d jobs in %v, all verified against references)\n",
+		jobsPerSec, total, wall.Round(time.Millisecond))
+	fmt.Printf("  latency:            p50 %8.2f ms, p99 %8.2f ms\n",
+		float64(pct(0.50).Microseconds())/1e3, float64(pct(0.99).Microseconds())/1e3)
+	fmt.Printf("  plan cache:         %.1f%% hit rate in steady state (%d hits / %d jobs; %d plans cached)\n",
+		100*hitRate, hits, total, st.Cache.Size)
+	fmt.Printf("  admission:          %d submitted, %d completed, %d rejected, %d canceled\n",
+		st.Submitted, st.Completed, st.Rejected, st.Canceled)
+	fmt.Printf("  per-tenant utilization: ")
+	names := make([]string, 0, len(st.Tenants))
+	for name := range st.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	shown := 0
+	for _, name := range names {
+		if name == "warmup" {
+			continue
+		}
+		if shown > 0 {
+			fmt.Printf(", ")
+		}
+		fmt.Printf("%s %.2f", name, st.Tenants[name].Utilization)
+		shown++
+	}
+	fmt.Println()
+
+	m["serve.jobs"] = float64(total)
+	m["serve.jobs_per_sec"] = jobsPerSec
+	m["serve.p50_ms"] = float64(pct(0.50).Microseconds()) / 1e3
+	m["serve.p99_ms"] = float64(pct(0.99).Microseconds()) / 1e3
+	m["serve.cache_hit_rate"] = hitRate
+	m["serve.plans_cached"] = float64(st.Cache.Size)
+
+	if hitRate < 0.90 {
+		return fmt.Errorf("serving demo regressed: plan-cache hit rate %.1f%% on repeated request shapes, want >= 90%%", 100*hitRate)
+	}
+	return nil
+}

@@ -29,6 +29,7 @@ type Expr struct {
 	args   []*Expr
 	leaf   *Vector
 	sleaf  *ShardedVector
+	data   []uint64
 	val    uint64
 	width  int
 
@@ -41,6 +42,7 @@ type exprKind uint8
 const (
 	exprLeaf exprKind = iota
 	exprShardLeaf
+	exprData
 	exprConst
 	exprOp
 )
@@ -49,6 +51,21 @@ const (
 // belong to this System and stay live until the expression is
 // materialized.
 func (s *System) Lazy(v *Vector) *Expr { return &Expr{kind: exprLeaf, leaf: v} }
+
+// Input returns a data leaf: a vector the compiler allocates, stores,
+// and owns, holding the given elements at the given width. Data leaves
+// make an expression self-contained — no pre-allocated Vector, no
+// binding to a particular System or Cluster until compile time — which
+// is what lets a Server dispatch the same expression shape onto
+// whichever channel is free, and what lets the plan cache treat two
+// requests with different payloads as the same shape. A data leaf used
+// only as an operand is released with the compiler's temporaries; a
+// data leaf that is itself a materialization root keeps its storage as
+// that root's result. The data slice must stay unmodified until the
+// expression is materialized.
+func Input(data []uint64, width int) *Expr {
+	return &Expr{kind: exprData, data: data, width: width}
+}
 
 // Scalar returns a constant expression: the value splatted across
 // every lane at the given width. Operations whose arguments are all
@@ -171,6 +188,11 @@ type CompileStats struct {
 	TempSlots int
 	// ConstVectors is the number of splatted constant vectors.
 	ConstVectors int
+	// CacheHit reports that this compilation reused a cached plan:
+	// folding, CSE, DCE, scheduling, and slot assignment were all
+	// skipped and only operand binding ran. The pass counters above
+	// then describe what the original cold compile did.
+	CacheHit bool
 }
 
 // TempRowsSaved returns the fraction of temporary rows lifetime reuse
@@ -190,11 +212,13 @@ type compileEnv struct {
 	sys *System // exactly one of sys/cl is set
 	cl  *Cluster
 
-	g      *graph.Graph
-	memo   map[*Expr]graph.NodeID
-	leafOf map[graph.NodeID]*Expr
-	first  *Expr // first vector leaf: defines n and placement
-	n      int
+	g          *graph.Graph
+	memo       map[*Expr]graph.NodeID
+	leafOf     map[graph.NodeID]*Expr
+	first      *Expr // first leaf of any kind: defines n
+	firstVec   *Expr // first Vector leaf: defines System placement
+	firstShard *Expr // first ShardedVector leaf: defines Cluster placement
+	n          int
 }
 
 func (env *compileEnv) node(e *Expr) (graph.NodeID, error) {
@@ -222,7 +246,10 @@ func (env *compileEnv) node(e *Expr) (graph.NodeID, error) {
 			env.first, env.n = e, v.n
 		} else if v.n != env.n {
 			return 0, errorf("graph: leaf has %d elements, expression has %d", v.n, env.n)
-		} else if !v.aligned(env.first.leaf) {
+		}
+		if env.firstVec == nil {
+			env.firstVec = e
+		} else if !v.aligned(env.firstVec.leaf) {
 			return 0, errorf("graph: leaf vectors are not segment-aligned (allocate them with the same length and placement)")
 		}
 		if id, err = env.g.Input(v.width); err != nil {
@@ -244,10 +271,26 @@ func (env *compileEnv) node(e *Expr) (graph.NodeID, error) {
 			env.first, env.n = e, v.n
 		} else if v.n != env.n {
 			return 0, errorf("graph: leaf has %d elements, expression has %d", v.n, env.n)
-		} else if !v.plan.Equal(env.first.sleaf.plan) {
+		}
+		if env.firstShard == nil {
+			env.firstShard = e
+		} else if !v.plan.Equal(env.firstShard.sleaf.plan) {
 			return 0, errorf("graph: leaf sharded vectors are not shard-aligned (allocate operand groups with the same length and placement)")
 		}
 		if id, err = env.g.Input(v.width); err != nil {
+			return 0, err
+		}
+		env.leafOf[id] = e
+	case exprData:
+		if len(e.data) == 0 {
+			return 0, errorf("graph: data leaf is empty")
+		}
+		if env.first == nil {
+			env.first, env.n = e, len(e.data)
+		} else if len(e.data) != env.n {
+			return 0, errorf("graph: data leaf has %d elements, expression has %d", len(e.data), env.n)
+		}
+		if id, err = env.g.Input(e.width); err != nil {
 			return 0, err
 		}
 		env.leafOf[id] = e
@@ -276,13 +319,31 @@ func (env *compileEnv) node(e *Expr) (graph.NodeID, error) {
 	return id, nil
 }
 
+// optsKey encodes the pass switches into the plan-cache key: the same
+// shape compiled under different options yields a different plan, so
+// the options are part of the shape's identity.
+func optsKey(opts CompileOptions) string {
+	bits := 0
+	for i, b := range []bool{opts.NoFold, opts.NoCSE, opts.NoDCE, opts.NoReuse, opts.NoSchedule} {
+		if b {
+			bits |= 1 << i
+		}
+	}
+	return string(rune('0'+bits)) + "|"
+}
+
 // planExprs runs the backend-independent half of compilation: build the
-// IR from the expression trees, run the enabled passes, schedule, and
-// assign temporaries to slots.
-func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr) (*compileEnv, graph.Assignment, []graph.NodeID, CompileStats, error) {
+// IR from the expression trees, then either reuse a cached plan for
+// this shape or run the enabled passes, schedule, and assign
+// temporaries to slots. On a cache hit env.g is swapped for the cached
+// optimized graph — the fresh graph and the cached one are structurally
+// identical by construction (the cache key is the exact pre-pass
+// serialization, and passes never renumber nodes), so the node IDs in
+// env.leafOf remain valid. cache may be nil (no caching).
+func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr, cache *graph.PlanCache) (*compileEnv, *graph.Plan, CompileStats, error) {
 	var stats CompileStats
 	if len(exprs) == 0 {
-		return nil, graph.Assignment{}, nil, stats, errorf("graph: nothing to materialize")
+		return nil, nil, stats, errorf("graph: nothing to materialize")
 	}
 	env := &compileEnv{
 		sys: sys, cl: cl,
@@ -293,38 +354,69 @@ func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr) (*c
 	for _, e := range exprs {
 		id, err := env.node(e)
 		if err != nil {
-			return nil, graph.Assignment{}, nil, stats, err
+			return nil, nil, stats, err
 		}
 		env.g.MarkRoot(id)
 	}
 	if env.first == nil {
-		return nil, graph.Assignment{}, nil, stats, errorf("graph: expression has no vector leaf, element count unknown (combine constants with at least one Lazy vector)")
+		return nil, nil, stats, errorf("graph: expression has no vector or data leaf, element count unknown (combine constants with at least one Lazy vector or Input data leaf)")
 	}
 	for id := 0; id < env.g.Len(); id++ {
 		if env.g.Node(graph.NodeID(id)).Kind == graph.KindOp {
 			stats.Nodes++
 		}
 	}
+	key := optsKey(opts) + env.g.CanonicalKey()
+	plan := cache.Lookup(key)
+	if plan == nil {
+		plan = buildPlan(env.g, opts, planCfg(sys, cl))
+		cache.Insert(key, plan)
+	} else {
+		env.g = plan.Graph
+		stats.CacheHit = true
+	}
+	stats.Folded = plan.Folded
+	stats.CSEEliminated = plan.CSEEliminated
+	stats.DCEEliminated = plan.DCEEliminated
+	stats.Instructions = len(plan.Sched)
+	stats.TempRowsNaive = plan.Asg.NaiveRows
+	stats.TempRowsPooled = plan.Asg.PooledRows
+	stats.TempSlots = len(plan.Asg.SlotWidths)
+	for id := 0; id < env.g.Len(); id++ {
+		n := env.g.Node(graph.NodeID(id))
+		if n.Kind == graph.KindConst && env.g.Alive(graph.NodeID(id)) && !n.Root {
+			stats.ConstVectors++
+		}
+	}
+	return env, plan, stats, nil
+}
+
+// planCfg returns the channel geometry scheduling costs come from.
+func planCfg(sys *System, cl *Cluster) Config {
+	if sys != nil {
+		return sys.cfg
+	}
+	return cl.cfg.Channel
+}
+
+// buildPlan runs the optimization passes, the scheduler, and the slot
+// assigner over a freshly built graph — the cold-compile path the plan
+// cache memoizes.
+func buildPlan(g *graph.Graph, opts CompileOptions, cfg Config) *graph.Plan {
+	plan := &graph.Plan{Graph: g}
 	if !opts.NoFold {
-		stats.Folded = env.g.FoldConstants()
+		plan.Folded = g.FoldConstants()
 	}
 	if !opts.NoCSE {
-		stats.CSEEliminated = env.g.CSE()
+		plan.CSEEliminated = g.CSE()
 	}
 	if !opts.NoDCE {
-		stats.DCEEliminated = env.g.DCE()
+		plan.DCEEliminated = g.DCE()
 	}
-	var cfg Config
-	if sys != nil {
-		cfg = sys.cfg
-	} else {
-		cfg = cl.cfg.Channel
-	}
-	var sched []graph.NodeID
 	if opts.NoSchedule {
-		sched = env.g.ProgramOrder()
+		plan.Sched = g.ProgramOrder()
 	} else {
-		sched = env.g.Schedule(func(d ops.Def, w, n int) float64 {
+		plan.Sched = g.Schedule(func(d ops.Def, w, n int) float64 {
 			c, err := ops.CostNs(d, w, n, cfg.Variant, cfg.DRAM.Timing)
 			if err != nil {
 				return 1 // synthesis failures resurface with context at execution
@@ -332,18 +424,8 @@ func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr) (*c
 			return c
 		})
 	}
-	asg := graph.Assign(env.g, sched, !opts.NoReuse)
-	stats.Instructions = len(sched)
-	stats.TempRowsNaive = asg.NaiveRows
-	stats.TempRowsPooled = asg.PooledRows
-	stats.TempSlots = len(asg.SlotWidths)
-	for id := 0; id < env.g.Len(); id++ {
-		n := env.g.Node(graph.NodeID(id))
-		if n.Kind == graph.KindConst && env.g.Alive(graph.NodeID(id)) && !n.Root {
-			stats.ConstVectors++
-		}
-	}
-	return env, asg, sched, stats, nil
+	plan.Asg = graph.Assign(g, plan.Sched, !opts.NoReuse)
+	return plan
 }
 
 // splat returns n copies of val.
@@ -358,10 +440,12 @@ func splat(val uint64, n int) []uint64 {
 // graphObj is the slice of the Vector/ShardedVector surface the
 // shared lowering back end needs: one implementation of the slot,
 // constant, and result bookkeeping serves both the System and the
-// Cluster compiler.
+// Cluster compiler. Load is what the serving path gathers results
+// with before releasing a job's storage.
 type graphObj interface {
 	Handle() uint16
 	Store([]uint64) error
+	Load() ([]uint64, error)
 	Free()
 }
 
@@ -382,19 +466,30 @@ type compiledResult struct {
 // lowerPlan binds a planned graph to storage and lowers it: pooled
 // slot objects for intermediates, dedicated objects for roots (a node
 // rooted twice shares one), splat-stored objects for surviving
-// constants, then the bbop program over their handles. alloc is the
-// backend's placement-aligned allocator; leafObj resolves an input
-// node to its caller-provided storage. On any failure everything
-// allocated so far is released. Result pointers on the expressions are
-// NOT set here — callers publish them only after the whole compilation
-// succeeds, so a failed Compile never leaves an expression pointing at
-// a freed vector.
-func lowerPlan(env *compileEnv, asg graph.Assignment, sched []graph.NodeID, exprs []*Expr,
+// constants, allocated-and-stored objects for data leaves, then the
+// bbop program over their handles. alloc is the backend's
+// placement-aligned allocator; leafObj resolves an input node to its
+// caller-provided storage; leafData resolves an input node to payload
+// data the compiler must allocate and store itself (an Input leaf). On
+// any failure everything allocated so far is released. Result pointers
+// on the expressions are NOT set here — callers publish them only
+// after the whole compilation succeeds, so a failed Compile never
+// leaves an expression pointing at a freed vector.
+func lowerPlan(env *compileEnv, plan *graph.Plan, exprs []*Expr,
 	alloc func(width int) (graphObj, error),
 	leafObj func(id graph.NodeID) graphObj,
+	leafData func(id graph.NodeID) ([]uint64, bool),
 ) (*lowered, error) {
 	lw := &lowered{}
+	// Root data-leaf storage lives here between its allocation in the
+	// input loop and its adoption as an owned result in the roots
+	// loop; fail() frees whatever has not been adopted yet, so a
+	// failure in between cannot leak rows.
+	pendingRoots := map[graph.NodeID]graphObj{}
 	fail := func(err error) (*lowered, error) {
+		for _, o := range pendingRoots {
+			o.Free()
+		}
 		for _, o := range lw.temps {
 			o.Free()
 		}
@@ -405,7 +500,7 @@ func lowerPlan(env *compileEnv, asg graph.Assignment, sched []graph.NodeID, expr
 		}
 		return nil, err
 	}
-	g, n := env.g, env.n
+	g, asg, n := env.g, plan.Asg, env.n
 
 	slotObj := make([]graphObj, len(asg.SlotWidths))
 	for i, w := range asg.SlotWidths {
@@ -415,6 +510,39 @@ func lowerPlan(env *compileEnv, asg graph.Assignment, sched []graph.NodeID, expr
 		}
 		slotObj[i] = o
 		lw.temps = append(lw.temps, o)
+	}
+
+	// Storage for every live input: the caller's vector for Lazy
+	// leaves; an allocated, payload-stored vector for Input data
+	// leaves. A non-root data leaf is released with the temporaries; a
+	// root one becomes that root's owned result below.
+	inputObj := map[graph.NodeID]graphObj{}
+	inputOwned := map[graph.NodeID]bool{}
+	for id := 0; id < g.Len(); id++ {
+		nid := graph.NodeID(id)
+		node := g.Node(nid)
+		if node.Kind != graph.KindInput || !g.Alive(nid) {
+			continue
+		}
+		data, isData := leafData(nid)
+		if !isData {
+			inputObj[nid] = leafObj(nid)
+			continue
+		}
+		o, err := alloc(node.Width)
+		if err != nil {
+			return fail(errorf("graph: data leaf: %w", err))
+		}
+		if node.Root {
+			pendingRoots[nid] = o
+		} else {
+			lw.temps = append(lw.temps, o)
+		}
+		if err := o.Store(data); err != nil {
+			return fail(err)
+		}
+		inputObj[nid] = o
+		inputOwned[nid] = node.Root
 	}
 
 	// Dedicated storage for the roots, allocated before the shared
@@ -429,7 +557,12 @@ func lowerPlan(env *compileEnv, asg graph.Assignment, sched []graph.NodeID, expr
 			node := g.Node(rid)
 			switch node.Kind {
 			case graph.KindInput:
-				obj = leafObj(rid)
+				obj = inputObj[rid]
+				if inputOwned[rid] {
+					owned = true
+					rootObj[rid] = obj
+					delete(pendingRoots, rid) // ownership moves to results
+				}
 			default:
 				o, err := alloc(node.Width)
 				if err != nil {
@@ -474,7 +607,11 @@ func lowerPlan(env *compileEnv, asg graph.Assignment, sched []graph.NodeID, expr
 		node := g.Node(id)
 		switch node.Kind {
 		case graph.KindInput:
-			return leafObj(id).Handle(), nil
+			o, ok := inputObj[id]
+			if !ok {
+				return 0, errorf("graph: input node %d has no storage", id)
+			}
+			return o.Handle(), nil
 		case graph.KindConst:
 			return constObj[id].Handle(), nil
 		default:
@@ -485,7 +622,7 @@ func lowerPlan(env *compileEnv, asg graph.Assignment, sched []graph.NodeID, expr
 			return slotObj[slot].Handle(), nil
 		}
 	}
-	prog, err := graph.Lower(g, sched, handle, uint32(n))
+	prog, err := graph.Lower(g, plan.Sched, handle, uint32(n))
 	if err != nil {
 		return fail(err)
 	}
@@ -557,14 +694,18 @@ func (s *System) Compile(exprs ...*Expr) (*Compiled, error) {
 // primarily for differential testing and baseline measurement; regular
 // callers want Compile or Materialize.
 func (s *System) CompileWith(opts CompileOptions, exprs ...*Expr) (*Compiled, error) {
-	env, asg, sched, stats, err := planExprs(s, nil, opts, exprs)
+	env, plan, stats, err := planExprs(s, nil, opts, exprs, s.plans)
 	if err != nil {
 		return nil, err
 	}
-	origin := env.first.leaf.origin()
-	lw, err := lowerPlan(env, asg, sched, exprs,
+	origin := 0
+	if env.firstVec != nil {
+		origin = env.firstVec.leaf.origin()
+	}
+	lw, err := lowerPlan(env, plan, exprs,
 		func(width int) (graphObj, error) { return s.allocVector(env.n, width, origin) },
 		func(id graph.NodeID) graphObj { return env.leafOf[id].leaf },
+		leafDataOf(env),
 	)
 	if err != nil {
 		return nil, err
@@ -572,6 +713,41 @@ func (s *System) CompileWith(opts CompileOptions, exprs ...*Expr) (*Compiled, er
 	lw.publish()
 	return &Compiled{sys: s, lw: lw, stats: stats}, nil
 }
+
+// leafDataOf resolves Input data leaves to their payloads for
+// lowerPlan; Lazy vector leaves return false and bind through leafObj.
+func leafDataOf(env *compileEnv) func(graph.NodeID) ([]uint64, bool) {
+	return func(id graph.NodeID) ([]uint64, bool) {
+		if e := env.leafOf[id]; e != nil && e.kind == exprData {
+			return e.data, true
+		}
+		return nil, false
+	}
+}
+
+// PlanCacheStats reports the System's compiled-plan cache counters.
+type PlanCacheStats struct {
+	Hits, Misses, Evicted uint64
+	Size, Capacity        int
+}
+
+// HitRate returns hits / lookups, or 0 before the first lookup.
+func (s PlanCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func cacheStats(c *graph.PlanCache) PlanCacheStats {
+	st := c.Stats()
+	return PlanCacheStats{Hits: st.Hits, Misses: st.Misses, Evicted: st.Evicted, Size: st.Size, Capacity: st.Capacity}
+}
+
+// PlanCacheStats reports the hit/miss counters of the System's
+// compiled-plan cache, which Compile/CompileWith/Materialize consult.
+func (s *System) PlanCacheStats() PlanCacheStats { return cacheStats(s.plans) }
 
 // Materialize compiles and executes the expressions as one batch,
 // releasing every temporary afterwards. Each expression's value is then

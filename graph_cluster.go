@@ -31,20 +31,31 @@ func (c *Cluster) Compile(exprs ...*Expr) (*ClusterCompiled, error) {
 // CompileWith is Compile with selected passes disabled — primarily for
 // differential testing and baseline measurement.
 func (c *Cluster) CompileWith(opts CompileOptions, exprs ...*Expr) (*ClusterCompiled, error) {
-	env, asg, sched, stats, err := planExprs(nil, c, opts, exprs)
+	env, plan, stats, err := planExprs(nil, c, opts, exprs, c.plans)
 	if err != nil {
 		return nil, err
 	}
 	// Compiler-allocated vectors must share the leaves' placement plan,
 	// or per-instruction shard alignment fails at execution. Striping
 	// over the first leaf's span order with the same element count
-	// reproduces its plan exactly; the allocator double-checks.
-	firstPlan := env.first.sleaf.plan
+	// reproduces its plan exactly; the allocator double-checks. An
+	// expression of only Input data leaves has no sharded leaf to
+	// follow, so the cluster's own policy plans the whole group from
+	// one load snapshot.
+	var firstPlan cluster.Plan
+	if env.firstShard != nil {
+		firstPlan = env.firstShard.sleaf.plan
+	} else {
+		firstPlan, err = cluster.MakePlan(env.n, c.policy.Order(c.loads()))
+		if err != nil {
+			return nil, err
+		}
+	}
 	order := make([]int, len(firstPlan.Spans))
 	for i, span := range firstPlan.Spans {
 		order[i] = span.Channel
 	}
-	lw, err := lowerPlan(env, asg, sched, exprs,
+	lw, err := lowerPlan(env, plan, exprs,
 		func(width int) (graphObj, error) {
 			v, err := c.allocSharded(env.n, width, cluster.Affinity{Channels: order}, func(sys *System, count int) (*Vector, error) {
 				return sys.AllocVector(count, width)
@@ -59,6 +70,7 @@ func (c *Cluster) CompileWith(opts CompileOptions, exprs ...*Expr) (*ClusterComp
 			return v, nil
 		},
 		func(id graph.NodeID) graphObj { return env.leafOf[id].sleaf },
+		leafDataOf(env),
 	)
 	if err != nil {
 		return nil, err
@@ -66,6 +78,10 @@ func (c *Cluster) CompileWith(opts CompileOptions, exprs ...*Expr) (*ClusterComp
 	lw.publish()
 	return &ClusterCompiled{cl: c, lw: lw, stats: stats}, nil
 }
+
+// PlanCacheStats reports the hit/miss counters of the Cluster's
+// compiled-plan cache, which Compile/CompileWith/Materialize consult.
+func (c *Cluster) PlanCacheStats() PlanCacheStats { return cacheStats(c.plans) }
 
 // Materialize compiles and executes the expressions as one batch fanned
 // across every channel, releasing every temporary afterwards. Each

@@ -1,0 +1,134 @@
+package batchgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"simdram"
+	"simdram/internal/kernels"
+	"simdram/internal/workload"
+)
+
+// ServeRequest is one serving-demo job: the lazy expressions to
+// submit plus the host-side verification of the loaded results
+// against the kernel's pure-Go reference.
+type ServeRequest struct {
+	exprs  []*simdram.Expr
+	verify func(res *simdram.JobResult) error
+}
+
+// Submit sends the request through the server and waits for it.
+func (r *ServeRequest) Submit(ctx context.Context, srv *simdram.Server, tenant string) (*simdram.JobResult, error) {
+	fut, err := srv.SubmitLazy(ctx, tenant, r.exprs...)
+	if err != nil {
+		return nil, err
+	}
+	return fut.Wait()
+}
+
+// Verify checks the job's loaded values against the reference.
+func (r *ServeRequest) Verify(res *simdram.JobResult) error { return r.verify(res) }
+
+// RunVerify submits, waits, and verifies in one step.
+func (r *ServeRequest) RunVerify(ctx context.Context, srv *simdram.Server, tenant string) error {
+	res, err := r.Submit(ctx, srv, tenant)
+	if err != nil {
+		return err
+	}
+	return r.verify(res)
+}
+
+// ServeShape is one request shape of the serving demo: a named
+// generator of randomized requests that all share a compiled plan
+// (the payload differs per request, the expression shape never does).
+type ServeShape struct {
+	Name string
+	New  func(rng *rand.Rand) *ServeRequest
+}
+
+// ServeShapes returns the demo's request mix over n-element payloads:
+// the three kernels the serving layer ports — brightness (both
+// saturation directions), a BitWeaving scan, and TPC-H Q6.
+func ServeShapes(n int) []ServeShape {
+	return []ServeShape{
+		{Name: "brightness+40", New: func(rng *rand.Rand) *ServeRequest {
+			return brightnessRequest(rng, n, 40)
+		}},
+		{Name: "brightness-60", New: func(rng *rand.Rand) *ServeRequest {
+			return brightnessRequest(rng, n, -60)
+		}},
+		{Name: "bitweaving-lt", New: func(rng *rand.Rand) *ServeRequest {
+			codes := make([]uint64, n)
+			for i := range codes {
+				codes[i] = uint64(rng.Intn(256))
+			}
+			const cut, width = 100, 8
+			want := kernels.BitWeavingLtRef(codes, cut)
+			return &ServeRequest{
+				exprs: []*simdram.Expr{kernels.BitWeavingLtExpr(codes, cut, width)},
+				verify: func(res *simdram.JobResult) error {
+					got := 0
+					for _, v := range res.Values[0] {
+						got += int(v & 1)
+					}
+					if got != want {
+						return fmt.Errorf("bitweaving scan: got %d matches, want %d", got, want)
+					}
+					return nil
+				},
+			}
+		}},
+		{Name: "tpch-q6", New: func(rng *rand.Rand) *ServeRequest {
+			t := workload.LineItem{
+				N:             n,
+				ShipDate:      make([]uint64, n),
+				Discount:      make([]uint64, n),
+				Quantity:      make([]uint64, n),
+				ExtendedPrice: make([]uint64, n),
+			}
+			for i := 0; i < n; i++ {
+				t.ShipDate[i] = uint64(9000 + rng.Intn(2557))
+				t.Discount[i] = uint64(rng.Intn(11))
+				t.Quantity[i] = uint64(1 + rng.Intn(50))
+				t.ExtendedPrice[i] = uint64(100 + rng.Intn(60000))
+			}
+			p := kernels.DefaultQ6()
+			want := kernels.TPCHQ6Ref(t, p)
+			return &ServeRequest{
+				exprs: []*simdram.Expr{kernels.TPCHQ6Expr(t, p)},
+				verify: func(res *simdram.JobResult) error {
+					var got uint64
+					for _, v := range res.Values[0] {
+						got += v
+					}
+					if got != want {
+						return fmt.Errorf("q6 revenue: got %d, want %d", got, want)
+					}
+					return nil
+				},
+			}
+		}},
+	}
+}
+
+// brightnessRequest builds one randomized brightness request and its
+// verification closure.
+func brightnessRequest(rng *rand.Rand, n, delta int) *ServeRequest {
+	px := make([]uint64, n)
+	for i := range px {
+		px[i] = uint64(rng.Intn(256))
+	}
+	want := kernels.BrightnessRef(workload.Image{W: n, H: 1, Pixels: px}, delta)
+	return &ServeRequest{
+		exprs: []*simdram.Expr{kernels.BrightnessExpr(px, delta)},
+		verify: func(res *simdram.JobResult) error {
+			for i := range want {
+				if res.Values[0][i] != want[i] {
+					return fmt.Errorf("brightness pixel %d: got %d, want %d", i, res.Values[0][i], want[i])
+				}
+			}
+			return nil
+		},
+	}
+}

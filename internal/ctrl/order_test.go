@@ -1,0 +1,74 @@
+package ctrl
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMergeParallelCompletionOrderInvariant pins the queue-era stats
+// convention: per-channel (or per-job) batch stats merged in ANY
+// completion order — jobs finish out of submission order all the time
+// under a concurrent scheduler — produce the same aggregate, and
+// Speedup keeps its conventions on the merged result. Additive fields
+// (work, energy, counts) commute trivially; the makespan is a max, so
+// it too must not depend on arrival order.
+func TestMergeParallelCompletionOrderInvariant(t *testing.T) {
+	parts := []BatchStats{
+		{Instructions: 4, Commands: 40, BusyNs: 100, CriticalPathNs: 60, EnergyPJ: 7},
+		{Instructions: 1, Commands: 9, BusyNs: 400, CriticalPathNs: 400, EnergyPJ: 1},
+		{Instructions: 8, Commands: 81, BusyNs: 50, CriticalPathNs: 25, EnergyPJ: 19},
+		{Instructions: 2, Commands: 17, BusyNs: 250, CriticalPathNs: 130, EnergyPJ: 3},
+	}
+	perms := [][]int{
+		{0, 1, 2, 3}, // submission order
+		{3, 2, 1, 0}, // fully reversed
+		{2, 0, 3, 1}, // interleaved completion
+		{1, 3, 0, 2},
+	}
+	var ref BatchStats
+	for p, perm := range perms {
+		var acc BatchStats
+		for _, i := range perm {
+			acc.MergeParallel(parts[i])
+		}
+		if p == 0 {
+			ref = acc
+			continue
+		}
+		if acc != ref {
+			t.Fatalf("permutation %v merged to %+v, submission order gave %+v", perm, acc, ref)
+		}
+	}
+	if ref.BusyNs != 800 || ref.CriticalPathNs != 400 || ref.Instructions != 15 || ref.Commands != 147 || ref.EnergyPJ != 30 {
+		t.Fatalf("merged aggregate %+v: want additive work/energy/counts and max makespan", ref)
+	}
+	// Speedup on the merged stats: aggregate work over the shared
+	// makespan, independent of completion order.
+	if got, want := ref.Speedup(), 800.0/400.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("merged Speedup = %v, want %v", got, want)
+	}
+}
+
+// TestMergeParallelSpeedupConventionsPreserved pins that merging
+// cannot manufacture the degenerate Speedup cases: an all-zero batch
+// merged with an all-zero batch still reports 1 (no work, no gain),
+// and merging real work into it moves to the honest ratio — never to
+// the 0 that flags inconsistent stats.
+func TestMergeParallelSpeedupConventionsPreserved(t *testing.T) {
+	var zero BatchStats
+	zero.MergeParallel(BatchStats{})
+	if got := zero.Speedup(); got != 1 {
+		t.Fatalf("zero ⊕ zero Speedup = %v, want 1", got)
+	}
+	work := BatchStats{BusyNs: 90, CriticalPathNs: 30}
+	zero.MergeParallel(work)
+	if got := zero.Speedup(); got != 3 {
+		t.Fatalf("zero ⊕ work Speedup = %v, want 3", got)
+	}
+	// Merge order symmetric for the same pair.
+	other := BatchStats{BusyNs: 90, CriticalPathNs: 30}
+	other.MergeParallel(BatchStats{})
+	if got := other.Speedup(); got != 3 {
+		t.Fatalf("work ⊕ zero Speedup = %v, want 3", got)
+	}
+}

@@ -1,0 +1,119 @@
+package graph
+
+import "sync"
+
+// Plan is the backend-independent result of compiling one expression
+// shape: the optimized graph, the instruction schedule, and the
+// temporary-slot assignment, plus what the passes did. A Plan is
+// immutable once built — lowering only reads it — so one Plan may be
+// bound concurrently against many different operand bindings (the plan
+// cache relies on this).
+type Plan struct {
+	Graph *Graph
+	Sched []NodeID
+	Asg   Assignment
+
+	Folded        int
+	CSEEliminated int
+	DCEEliminated int
+}
+
+// CacheStats is a point-in-time snapshot of a PlanCache.
+type CacheStats struct {
+	Hits     uint64
+	Misses   uint64
+	Size     int
+	Capacity int
+	// Evicted counts plans dropped to make room for newer shapes.
+	Evicted uint64
+}
+
+// HitRate returns hits / lookups, or 0 before the first lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// PlanCache memoizes compiled Plans by canonical shape key, so
+// repeated request shapes skip folding, CSE, DCE, scheduling, and slot
+// assignment and go straight to operand binding. It is safe for
+// concurrent use; two goroutines missing on the same key may both
+// compute a plan, in which case the first Insert wins and the loser
+// simply executes its own equivalent plan.
+//
+// Eviction is FIFO in insertion order — the simplest bounded policy.
+// Smarter eviction (LRU, cost-weighted) is a recorded follow-on; shape
+// populations small enough to fit the default capacity never evict.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*Plan
+	order   []string // insertion order, for FIFO eviction
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+// NewPlanCache returns a cache bounded to capacity plans. A capacity
+// below 1 disables caching: every Lookup misses and Insert is a no-op.
+func NewPlanCache(capacity int) *PlanCache {
+	return &PlanCache{cap: capacity, entries: make(map[string]*Plan)}
+}
+
+// Lookup returns the cached plan for key, or nil, and counts the hit
+// or miss.
+func (c *PlanCache) Lookup(key string) *Plan {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.entries[key]; ok {
+		c.hits++
+		return p
+	}
+	c.misses++
+	return nil
+}
+
+// Insert stores a plan under key. An existing entry is kept (first
+// writer wins — concurrent compilers of the same shape produce
+// equivalent plans, and keeping the first avoids duplicate order
+// entries).
+func (c *PlanCache) Insert(key string, p *Plan) {
+	if c == nil || c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	for len(c.entries) >= c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+		c.evicted++
+	}
+	c.entries[key] = p
+	c.order = append(c.order, key)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Size:     len(c.entries),
+		Capacity: c.cap,
+		Evicted:  c.evicted,
+	}
+}

@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"simdram/internal/ops"
+)
+
+func opDef(t *testing.T, name string) ops.Def {
+	t.Helper()
+	d, err := ops.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// buildAddMax constructs input(w) + input(w) then max with a third
+// input — the reference shape the key tests vary.
+func buildAddMax(t *testing.T, width int, op1, op2 string) *Graph {
+	t.Helper()
+	g := New()
+	a, _ := g.Input(width)
+	b, _ := g.Input(width)
+	c, _ := g.Input(width)
+	s, err := g.Op(opDef(t, op1), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := g.Op(opDef(t, op2), s, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MarkRoot(r)
+	return g
+}
+
+func TestCanonicalKeyEquivalence(t *testing.T) {
+	// Same shape built twice — regardless of which storage would back
+	// the inputs — has the same key.
+	k1 := buildAddMax(t, 8, "addition", "max").CanonicalKey()
+	k2 := buildAddMax(t, 8, "addition", "max").CanonicalKey()
+	if k1 != k2 {
+		t.Fatalf("identical shapes, different keys:\n%q\n%q", k1, k2)
+	}
+
+	// Same topology, different width: must differ.
+	if k := buildAddMax(t, 16, "addition", "max").CanonicalKey(); k == k1 {
+		t.Fatal("different widths produced the same key")
+	}
+	// Same topology, different opcode: must differ.
+	if k := buildAddMax(t, 8, "subtraction", "max").CanonicalKey(); k == k1 {
+		t.Fatal("different opcodes produced the same key")
+	}
+	if k := buildAddMax(t, 8, "addition", "min").CanonicalKey(); k == k1 {
+		t.Fatal("different second opcode produced the same key")
+	}
+}
+
+func TestCanonicalKeyDistinguishesConstsAndRoots(t *testing.T) {
+	build := func(val uint64, markBoth bool) string {
+		g := New()
+		a, _ := g.Input(8)
+		c, _ := g.Const(val, 8)
+		s, err := g.Op(opDef(t, "addition"), a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.MarkRoot(s)
+		if markBoth {
+			g.MarkRoot(a)
+		}
+		return g.CanonicalKey()
+	}
+	if build(3, false) == build(4, false) {
+		t.Fatal("different constant values produced the same key")
+	}
+	if build(3, false) == build(3, true) {
+		t.Fatal("different root sets produced the same key")
+	}
+}
+
+func TestCanonicalKeyDistinguishesTopology(t *testing.T) {
+	// (a+b)+c vs a+(b+c): same node multiset, different edges.
+	add := opDef(t, "addition")
+	left := New()
+	{
+		a, _ := left.Input(8)
+		b, _ := left.Input(8)
+		c, _ := left.Input(8)
+		s1, _ := left.Op(add, a, b)
+		s2, _ := left.Op(add, s1, c)
+		left.MarkRoot(s2)
+	}
+	right := New()
+	{
+		a, _ := right.Input(8)
+		b, _ := right.Input(8)
+		c, _ := right.Input(8)
+		s1, _ := right.Op(add, b, c)
+		s2, _ := right.Op(add, a, s1)
+		right.MarkRoot(s2)
+	}
+	if left.CanonicalKey() == right.CanonicalKey() {
+		t.Fatal("different topologies produced the same key")
+	}
+}
+
+func TestPlanCacheHitMissEviction(t *testing.T) {
+	c := NewPlanCache(2)
+	if p := c.Lookup("a"); p != nil {
+		t.Fatal("empty cache returned a plan")
+	}
+	pa, pb, pc := &Plan{}, &Plan{}, &Plan{}
+	c.Insert("a", pa)
+	c.Insert("b", pb)
+	if got := c.Lookup("a"); got != pa {
+		t.Fatal("lookup after insert missed")
+	}
+	// Third insert evicts the FIFO-oldest ("a").
+	c.Insert("c", pc)
+	if got := c.Lookup("a"); got != nil {
+		t.Fatal("capacity-2 cache retained 3 plans")
+	}
+	if got := c.Lookup("c"); got != pc {
+		t.Fatal("newest plan evicted instead of oldest")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Size != 2 || st.Evicted != 1 {
+		t.Fatalf("stats = %+v, want 2 hits, 2 misses, size 2, 1 evicted", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+
+	// Duplicate insert keeps the first plan.
+	c.Insert("c", &Plan{})
+	if got := c.Lookup("c"); got != pc {
+		t.Fatal("duplicate insert replaced the original plan")
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	c := NewPlanCache(0)
+	c.Insert("a", &Plan{})
+	if got := c.Lookup("a"); got != nil {
+		t.Fatal("zero-capacity cache cached a plan")
+	}
+	var nilCache *PlanCache
+	if got := nilCache.Lookup("a"); got != nil {
+		t.Fatal("nil cache returned a plan")
+	}
+	nilCache.Insert("a", &Plan{}) // must not panic
+	if st := nilCache.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := NewPlanCache(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("shape-%d", (i+w)%32)
+				if c.Lookup(key) == nil {
+					c.Insert(key, &Plan{})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Size != 32 {
+		t.Fatalf("size = %d, want 32 distinct shapes", st.Size)
+	}
+	if st.Hits+st.Misses != 8*200 {
+		t.Fatalf("lookups = %d, want %d", st.Hits+st.Misses, 8*200)
+	}
+}

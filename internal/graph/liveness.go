@@ -31,10 +31,6 @@ type Assignment struct {
 // every intermediate gets a fresh slot (the naive per-node allocation
 // the benchmarks compare against).
 func Assign(g *Graph, sched []NodeID, reuse bool) Assignment {
-	pos := make(map[NodeID]int, len(sched))
-	for i, id := range sched {
-		pos[id] = i
-	}
 	// lastUse[a] is the schedule position of the last scheduled reader.
 	lastUse := map[NodeID]int{}
 	for i, id := range sched {

@@ -1,0 +1,462 @@
+// Package sched implements the multi-tenant job scheduler behind the
+// public Server facade: a bounded admission queue, per-tenant fair
+// dispatch, and a fixed pool of workers (one per cluster channel in
+// the serving deployment).
+//
+// Admission control is reject-on-full, never block-on-full: a Submit
+// that would exceed the global queue depth fails with ErrQueueFull,
+// and one that would exceed the per-tenant quota (queued + running)
+// fails with ErrTenantQuota, so one tenant's burst cannot wedge the
+// submission path for everyone else. Fairness is round-robin over
+// tenants with queued work — each free worker takes one job from the
+// next tenant in the ring — so a tenant that queues 100 jobs and a
+// tenant that queues 1 each get a worker at the first opportunity,
+// regardless of arrival order.
+//
+// Cancellation composes with the execution engine's preemption: every
+// running job receives a cancel channel that closes when its
+// submission context expires, which the serving layer threads into
+// ctrl.ExecuteBatchCancel so an in-flight batch stops issuing
+// instructions instead of running to completion. A context canceled
+// while the job is still queued resolves the job immediately with the
+// context's error and releases its queue slot and quota.
+//
+// The package is execution-agnostic: a job is just a closure given a
+// worker index and a cancel channel. The facade owns what a worker
+// index means (a channel's System) and what running a job does
+// (compile, bind, execute, load).
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Scheduler errors. ErrQueueFull and ErrTenantQuota are admission
+// rejections — the job was never queued; ErrClosed reports submission
+// to (or draining by) a closed scheduler.
+var (
+	ErrQueueFull   = errors.New("sched: queue full")
+	ErrTenantQuota = errors.New("sched: tenant over quota")
+	ErrClosed      = errors.New("sched: scheduler closed")
+)
+
+// Task is one unit of scheduled work: run on the given worker until
+// done, or until cancel closes (then stop early and return an error,
+// conventionally wrapping ctrl.ErrCanceled).
+type Task func(worker int, cancel <-chan struct{}) error
+
+// Config sizes a Scheduler.
+type Config struct {
+	// Workers is the number of concurrent executors. Each queued job is
+	// handed a worker index in [0, Workers); the serving layer maps the
+	// index to a cluster channel.
+	Workers int
+	// QueueDepth bounds jobs queued across all tenants (running jobs do
+	// not count). Submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// TenantQuota bounds one tenant's queued plus running jobs; 0 means
+	// no per-tenant bound. Submissions beyond it fail with
+	// ErrTenantQuota.
+	TenantQuota int
+}
+
+// job is one submitted task moving through queued → running → done.
+type job struct {
+	tenant   string
+	run      Task
+	ctx      context.Context
+	queuedAt time.Time
+
+	done    chan struct{}
+	err     error
+	worker  int
+	queueNs int64
+	runNs   int64
+	started bool
+	fin     bool
+}
+
+// Ticket is the caller's handle on a submitted job — the future the
+// facade wraps.
+type Ticket struct{ j *job }
+
+// Done returns a channel closed when the job finishes (successfully,
+// with an error, or canceled).
+func (t *Ticket) Done() <-chan struct{} { return t.j.done }
+
+// Wait blocks until the job finishes and returns its error.
+func (t *Ticket) Wait() error { <-t.j.done; return t.j.err }
+
+// Worker returns the worker index that ran the job, or -1 if it never
+// ran. Valid after Done.
+func (t *Ticket) Worker() int { return t.j.worker }
+
+// QueueNs returns how long the job waited in the queue; RunNs how long
+// it ran. Valid after Done; both measured on the monotonic clock and
+// never negative.
+func (t *Ticket) QueueNs() int64 { return t.j.queueNs }
+
+// RunNs returns the job's execution time in nanoseconds. Valid after
+// Done.
+func (t *Ticket) RunNs() int64 { return t.j.runNs }
+
+// tenantState is one tenant's queue and counters.
+type tenantState struct {
+	queue   []*job
+	running int
+
+	submitted, completed, failed, rejected, canceled uint64
+	busyNs, waitNs                                   int64
+}
+
+// Scheduler dispatches tenant jobs onto a fixed worker pool. Safe for
+// concurrent use.
+type Scheduler struct {
+	cfg  Config
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	tenants map[string]*tenantState
+	active  []string // tenants with queued work, in round-robin order
+	next    int      // ring cursor into active
+	queued  int
+	running int
+	closed  bool
+	wg      sync.WaitGroup
+
+	submitted, completed, failed, rejected, canceled uint64
+}
+
+// New starts a scheduler with cfg.Workers worker goroutines. Workers
+// and QueueDepth below 1 default to 1.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	s := &Scheduler{cfg: cfg, tenants: map[string]*tenantState{}}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go s.worker(w)
+	}
+	return s
+}
+
+// Submit enqueues a job for the tenant. It never blocks: over-capacity
+// submissions fail immediately with ErrQueueFull or ErrTenantQuota,
+// and a context already expired fails with its error. ctx may be nil
+// (never cancels).
+func (s *Scheduler) Submit(ctx context.Context, tenant string, run Task) (*Ticket, error) {
+	if run == nil {
+		return nil, errors.New("sched: nil task")
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ts := s.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{}
+		s.tenants[tenant] = ts
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.rejected++
+		ts.rejected++
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	if s.cfg.TenantQuota > 0 && len(ts.queue)+ts.running >= s.cfg.TenantQuota {
+		s.rejected++
+		ts.rejected++
+		s.mu.Unlock()
+		return nil, ErrTenantQuota
+	}
+	j := &job{tenant: tenant, run: run, ctx: ctx, queuedAt: time.Now(), done: make(chan struct{}), worker: -1}
+	if len(ts.queue) == 0 {
+		s.active = append(s.active, tenant)
+	}
+	ts.queue = append(ts.queue, j)
+	ts.submitted++
+	s.submitted++
+	s.queued++
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.cancelQueued(j)
+			case <-j.done:
+			}
+		}()
+	}
+	return &Ticket{j: j}, nil
+}
+
+// cancelQueued resolves a job whose context expired while it was still
+// waiting in the queue, releasing its slot and quota. A job already
+// taken by a worker is left alone — the worker's cancel channel is
+// about to fire and preempt it.
+func (s *Scheduler) cancelQueued(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.started || j.fin {
+		return
+	}
+	ts := s.tenants[j.tenant]
+	for i, q := range ts.queue {
+		if q == j {
+			ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
+			s.queued--
+			if len(ts.queue) == 0 {
+				s.dropActive(j.tenant)
+			}
+			break
+		}
+	}
+	j.queueNs = durationNs(j.queuedAt, time.Now())
+	s.finishLocked(j, j.ctx.Err(), true)
+}
+
+// dropActive removes a tenant from the round-robin ring, keeping the
+// cursor on the same next tenant.
+func (s *Scheduler) dropActive(tenant string) {
+	for i, name := range s.active {
+		if name == tenant {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			if i < s.next {
+				s.next--
+			}
+			if s.next >= len(s.active) {
+				s.next = 0
+			}
+			return
+		}
+	}
+}
+
+// pop takes the next job under round-robin tenant fairness: one job
+// from the cursor tenant, then the cursor advances. Caller holds mu.
+func (s *Scheduler) pop() *job {
+	if len(s.active) == 0 {
+		return nil
+	}
+	if s.next >= len(s.active) {
+		s.next = 0
+	}
+	tenant := s.active[s.next]
+	ts := s.tenants[tenant]
+	j := ts.queue[0]
+	ts.queue = ts.queue[1:]
+	s.queued--
+	if len(ts.queue) == 0 {
+		s.dropActive(tenant)
+	} else {
+		s.next++
+	}
+	return j
+}
+
+// tenantStateCap bounds how many per-tenant records the scheduler
+// retains: beyond it, records of idle tenants (nothing queued or
+// running) are evicted oldest-iteration-order-first, so unbounded
+// tenant cardinality — millions of distinct IDs, or an ID per request
+// — cannot grow the scheduler's memory or Stats cost without bound.
+// The global counters are unaffected; an evicted tenant that returns
+// simply starts a fresh per-tenant record.
+const tenantStateCap = 4096
+
+// finishLocked resolves a job and updates the counters. canceled
+// marks jobs that never ran (context expired in queue, or drained by
+// Close). Caller holds mu.
+func (s *Scheduler) finishLocked(j *job, err error, canceled bool) {
+	if j.fin {
+		return
+	}
+	j.fin = true
+	j.err = err
+	ts := s.tenants[j.tenant]
+	switch {
+	case canceled:
+		s.canceled++
+		ts.canceled++
+	case err != nil:
+		s.failed++
+		ts.failed++
+	default:
+		s.completed++
+		ts.completed++
+	}
+	ts.busyNs += j.runNs
+	ts.waitNs += j.queueNs
+	close(j.done)
+	if len(s.tenants) > tenantStateCap {
+		for name, t := range s.tenants {
+			if len(t.queue) == 0 && t.running == 0 {
+				delete(s.tenants, name)
+				if len(s.tenants) <= tenantStateCap {
+					break
+				}
+			}
+		}
+	}
+}
+
+// worker is one executor loop: wait for work, run it with a
+// context-driven cancel channel, resolve the ticket.
+func (s *Scheduler) worker(w int) {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		for !s.closed && s.queued == 0 {
+			s.cond.Wait()
+		}
+		j := s.pop()
+		if j == nil {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			continue
+		}
+		if j.ctx != nil && j.ctx.Err() != nil {
+			// Canceled while queued and not yet reaped by its watcher.
+			j.queueNs = durationNs(j.queuedAt, time.Now())
+			s.finishLocked(j, j.ctx.Err(), true)
+			continue
+		}
+		j.started = true
+		ts := s.tenants[j.tenant]
+		ts.running++
+		s.running++
+		s.mu.Unlock()
+
+		start := time.Now()
+		j.queueNs = durationNs(j.queuedAt, start)
+		cancel := make(chan struct{})
+		stop := make(chan struct{})
+		if j.ctx != nil && j.ctx.Done() != nil {
+			ctx := j.ctx
+			go func() {
+				select {
+				case <-ctx.Done():
+					close(cancel)
+				case <-stop:
+				}
+			}()
+		}
+		err := runTask(j.run, w, cancel)
+		close(stop)
+		j.runNs = durationNs(start, time.Now())
+		j.worker = w
+
+		s.mu.Lock()
+		ts.running--
+		s.running--
+		s.finishLocked(j, err, false)
+	}
+}
+
+// runTask runs one job closure, containing a panic as that job's
+// error: a bad request from one tenant must not take down the workers
+// serving everyone else.
+func runTask(t Task, w int, cancel <-chan struct{}) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: job panicked: %v", r)
+		}
+	}()
+	return t(w, cancel)
+}
+
+// Close stops admission, fails every still-queued job with ErrClosed,
+// waits for running jobs to finish, and stops the workers. Idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for {
+		j := s.pop()
+		if j == nil {
+			break
+		}
+		j.queueNs = durationNs(j.queuedAt, time.Now())
+		s.finishLocked(j, ErrClosed, true)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// TenantStats is one tenant's point-in-time counters.
+type TenantStats struct {
+	Submitted, Completed, Failed, Rejected, Canceled uint64
+	Queued, Running                                  int
+	// BusyNs is cumulative wall time the tenant's jobs spent running;
+	// WaitNs cumulative time they spent queued. Monotonic, never
+	// negative, regardless of the order jobs complete in.
+	BusyNs, WaitNs int64
+}
+
+// Stats is a point-in-time snapshot of the scheduler.
+type Stats struct {
+	Workers                                          int
+	Queued, Running                                  int
+	Submitted, Completed, Failed, Rejected, Canceled uint64
+	Tenants                                          map[string]TenantStats
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Workers: s.cfg.Workers,
+		Queued:  s.queued, Running: s.running,
+		Submitted: s.submitted, Completed: s.completed, Failed: s.failed,
+		Rejected: s.rejected, Canceled: s.canceled,
+		Tenants: make(map[string]TenantStats, len(s.tenants)),
+	}
+	for name, ts := range s.tenants {
+		st.Tenants[name] = TenantStats{
+			Submitted: ts.submitted, Completed: ts.completed, Failed: ts.failed,
+			Rejected: ts.rejected, Canceled: ts.canceled,
+			Queued: len(ts.queue), Running: ts.running,
+			BusyNs: ts.busyNs, WaitNs: ts.waitNs,
+		}
+	}
+	return st
+}
+
+// durationNs returns b−a in nanoseconds, clamped at zero — the
+// queue-era monotonic guard. Go's time.Time carries a monotonic
+// reading, so Sub normally cannot go backwards across wall-clock
+// adjustments; the clamp covers values that lost that reading
+// (serialization round-trips, explicit wall arithmetic) and pins the
+// invariant the stats layer relies on: per-job durations are
+// non-negative no matter in what order jobs complete.
+func durationNs(a, b time.Time) int64 {
+	d := b.Sub(a).Nanoseconds()
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,348 @@
+package simdram
+
+import (
+	"context"
+	"sync"
+
+	"simdram/internal/graph"
+	"simdram/internal/sched"
+)
+
+// Admission errors a Server surfaces from Submit/SubmitLazy. Both are
+// immediate rejections — the job was never queued.
+var (
+	// ErrQueueFull reports that the server's bounded job queue is at
+	// capacity.
+	ErrQueueFull = sched.ErrQueueFull
+	// ErrTenantQuota reports that the submitting tenant already has its
+	// quota of queued plus running jobs.
+	ErrTenantQuota = sched.ErrTenantQuota
+	// ErrServerClosed reports submission to a closed server, or a job
+	// drained from the queue by Close.
+	ErrServerClosed = sched.ErrClosed
+)
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// Channels is the number of independent channels — the worker pool:
+	// each channel is a full System and runs one job at a time, so up
+	// to Channels jobs execute concurrently.
+	Channels int
+	// Channel configures every channel's System.
+	Channel Config
+	// QueueDepth bounds jobs queued across all tenants; submissions
+	// beyond it fail with ErrQueueFull. Defaults to 8× Channels.
+	QueueDepth int
+	// TenantQuota bounds one tenant's queued plus running jobs;
+	// submissions beyond it fail with ErrTenantQuota. 0 means no
+	// per-tenant bound.
+	TenantQuota int
+	// PlanCacheSize bounds the shared compiled-plan cache. Defaults to
+	// DefaultPlanCacheSize; negative disables caching.
+	PlanCacheSize int
+}
+
+// DefaultServerConfig returns a server of n default-geometry channels
+// with a 8n-deep queue, no per-tenant quota, and the default plan
+// cache.
+func DefaultServerConfig(n int) ServerConfig {
+	return ServerConfig{Channels: n, Channel: DefaultConfig()}
+}
+
+// Server is the concurrent serving layer over a cluster of channels:
+// tenants submit jobs — lazy expressions over Input data leaves, or
+// raw closures — into a bounded admission queue; a per-tenant fair
+// scheduler dispatches each job onto the next free channel; and a
+// shared plan cache lets repeated request shapes skip graph
+// optimization and scheduling entirely, re-binding only their operand
+// rows. A canceled or deadline-expired submission context preempts
+// the job: while queued it is dropped on the spot, while running the
+// batch engine stops issuing instructions (ctrl.ExecuteBatchCancel)
+// and the future resolves with the cancellation error.
+//
+//	srv, _ := simdram.NewServer(simdram.DefaultServerConfig(4))
+//	defer srv.Close()
+//	e := simdram.Input(pixels, 16).Add(simdram.Scalar(20, 16))
+//	fut, _ := srv.SubmitLazy(ctx, "tenant-a", e)
+//	res, _ := fut.Wait()   // res.Values[0] holds the result elements
+//
+// Submitted expressions must be self-contained (Input and Scalar
+// leaves only): the channel that will run a job is not known at
+// submission time, so an expression bound to a particular System's
+// vectors is rejected.
+type Server struct {
+	cfg   ServerConfig
+	cl    *Cluster
+	sched *sched.Scheduler
+	plans *graph.PlanCache
+}
+
+// NewServer builds the channels and starts the scheduler's worker
+// pool (one worker per channel).
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Channels < 1 {
+		return nil, errorf("server needs at least 1 channel, have %d", cfg.Channels)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 8 * cfg.Channels
+	}
+	if cfg.PlanCacheSize == 0 {
+		cfg.PlanCacheSize = DefaultPlanCacheSize
+	}
+	cl, err := NewCluster(ClusterConfig{Channels: cfg.Channels, Channel: cfg.Channel, Placement: PlaceRoundRobin})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		cl:    cl,
+		plans: graph.NewPlanCache(cfg.PlanCacheSize),
+	}
+	s.sched = sched.New(sched.Config{
+		Workers:     cfg.Channels,
+		QueueDepth:  cfg.QueueDepth,
+		TenantQuota: cfg.TenantQuota,
+	})
+	return s, nil
+}
+
+// Config returns the server configuration (with defaults applied).
+func (s *Server) Config() ServerConfig { return s.cfg }
+
+// Close stops admission, fails queued jobs with ErrServerClosed,
+// waits for running jobs, and releases every channel.
+func (s *Server) Close() {
+	s.sched.Close()
+	s.cl.Close()
+}
+
+// JobResult is what a completed lazy job produced.
+type JobResult struct {
+	// Values holds one loaded result slice per submitted root
+	// expression, in submission order. Nil for raw Submit jobs.
+	Values [][]uint64
+	// Batch is the modeled cost of the executed batch (zero if the
+	// whole job folded away).
+	Batch BatchStats
+	// Compile reports what the compiler did — Compile.CacheHit tells
+	// whether the job reused a cached plan.
+	Compile CompileStats
+	// Channel is the cluster channel the job ran on.
+	Channel int
+	// QueueNs and RunNs are the job's wall-clock queue wait and
+	// execution time (monotonic, never negative).
+	QueueNs, RunNs int64
+}
+
+// Future is the caller's handle on a submitted job.
+type Future struct {
+	t    *sched.Ticket
+	res  *JobResult
+	once sync.Once
+	err  error
+}
+
+// Done returns a channel closed when the job finishes.
+func (f *Future) Done() <-chan struct{} { return f.t.Done() }
+
+// Wait blocks until the job finishes and returns its result. On error
+// (execution failure, cancellation, server close) the result is nil.
+func (f *Future) Wait() (*JobResult, error) {
+	f.once.Do(func() {
+		f.err = f.t.Wait()
+		f.res.Channel = f.t.Worker()
+		f.res.QueueNs = f.t.QueueNs()
+		f.res.RunNs = f.t.RunNs()
+	})
+	<-f.t.Done() // later callers of a shared Future still block
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.res, nil
+}
+
+// SubmitLazy enqueues the expressions as one job for the tenant: on
+// whichever channel comes free, the graph compiles (or reuses a
+// cached plan), Input payloads are stored, the batch executes, and
+// every root's value is loaded into the JobResult. All storage the
+// job touched is released before the future resolves — nothing
+// outlives the request, which is what lets millions of requests
+// stream through a fixed set of channels.
+//
+// SubmitLazy never blocks on a full queue; it fails immediately with
+// ErrQueueFull, ErrTenantQuota, or the context's error. ctx may be
+// nil (never cancels).
+func (s *Server) SubmitLazy(ctx context.Context, tenant string, exprs ...*Expr) (*Future, error) {
+	if len(exprs) == 0 {
+		return nil, errorf("server: nothing to submit")
+	}
+	seen := map[*Expr]bool{}
+	for _, e := range exprs {
+		if err := checkServable(e, seen); err != nil {
+			return nil, err
+		}
+	}
+	res := &JobResult{}
+	t, err := s.sched.Submit(ctx, tenant, func(worker int, cancel <-chan struct{}) error {
+		return s.runLazy(s.cl.Channel(worker), cancel, exprs, res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Future{t: t, res: res}, nil
+}
+
+// Submit enqueues a raw job: fn runs with exclusive use of one
+// channel's System and the scheduler's cancellation signal (closed
+// when ctx expires). It is the escape hatch for work the expression
+// graph cannot phrase — multi-batch kernels, fault injection,
+// experiments — under the same admission control and fairness as lazy
+// jobs. fn must release every vector it allocates before returning.
+func (s *Server) Submit(ctx context.Context, tenant string, fn func(sys *System, cancel <-chan struct{}) error) (*Future, error) {
+	if fn == nil {
+		return nil, errorf("server: nil job")
+	}
+	res := &JobResult{}
+	t, err := s.sched.Submit(ctx, tenant, func(worker int, cancel <-chan struct{}) error {
+		return fn(s.cl.Channel(worker), cancel)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Future{t: t, res: res}, nil
+}
+
+// checkServable rejects expressions bound to pre-allocated storage:
+// a server job must be runnable on any channel.
+func checkServable(e *Expr, seen map[*Expr]bool) error {
+	if e == nil {
+		return errorf("server: nil expression")
+	}
+	if seen[e] {
+		return nil
+	}
+	seen[e] = true
+	switch e.kind {
+	case exprLeaf, exprShardLeaf:
+		return errorf("server: expression is bound to a pre-allocated vector; server jobs must use Input data leaves so they can run on any free channel")
+	case exprOp:
+		for _, a := range e.args {
+			if err := checkServable(a, seen); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runLazy is the per-job serving pipeline on one channel: plan (cache
+// hit or cold compile), bind payloads, execute with preemptive
+// cancellation, load every root, release everything.
+func (s *Server) runLazy(sys *System, cancel <-chan struct{}, exprs []*Expr, res *JobResult) error {
+	env, plan, cst, err := planExprs(sys, nil, CompileOptions{}, exprs, s.plans)
+	if err != nil {
+		return err
+	}
+	res.Compile = cst
+	lw, err := lowerPlan(env, plan, exprs,
+		func(width int) (graphObj, error) { return sys.allocVector(env.n, width, 0) },
+		func(id graph.NodeID) graphObj { return nil }, // no vector leaves: checkServable rejected them
+		leafDataOf(env),
+	)
+	if err != nil {
+		return err
+	}
+	// Results are NOT published onto the expressions (publish): the
+	// same expression template may be in flight on several channels at
+	// once, and every vector below is released before the future
+	// resolves anyway.
+	defer func() {
+		lw.freeTemps()
+		for _, r := range lw.results {
+			if r.owned {
+				r.obj.Free()
+			}
+		}
+	}()
+	if len(lw.prog) > 0 {
+		st, err := sys.execBatch(lw.prog, cancel)
+		if err != nil {
+			return err
+		}
+		res.Batch = BatchStats{
+			Instructions:   st.Instructions,
+			Commands:       st.Commands,
+			BusyNs:         st.BusyNs,
+			CriticalPathNs: st.CriticalPathNs,
+			EnergyPJ:       st.EnergyPJ,
+		}
+	}
+	res.Values = make([][]uint64, len(lw.results))
+	for i, r := range lw.results {
+		vals, err := r.obj.Load()
+		if err != nil {
+			res.Values = nil
+			return err
+		}
+		res.Values[i] = vals
+	}
+	return nil
+}
+
+// TenantServerStats is one tenant's serving counters.
+type TenantServerStats struct {
+	Submitted, Completed, Failed, Rejected, Canceled uint64
+	Queued, Running                                  int
+	// BusyNs is cumulative wall time this tenant's jobs spent running;
+	// WaitNs cumulative time queued.
+	BusyNs, WaitNs int64
+	// Utilization is the tenant's share of all execution time the
+	// server has performed so far (0 when nothing has run).
+	Utilization float64
+}
+
+// ServerStats is a point-in-time snapshot of the serving layer.
+type ServerStats struct {
+	Channels int
+	// QueueDepth is the current number of queued jobs; Running the
+	// number executing right now.
+	QueueDepth, Running                              int
+	Submitted, Completed, Failed, Rejected, Canceled uint64
+	// Cache reports the shared compiled-plan cache.
+	Cache   PlanCacheStats
+	Tenants map[string]TenantServerStats
+}
+
+// CacheHitRate returns the plan cache's hit rate.
+func (s ServerStats) CacheHitRate() float64 { return s.Cache.HitRate() }
+
+// Stats returns a snapshot of queue depth, admission counters, plan
+// cache hit rate, and per-tenant utilization.
+func (s *Server) Stats() ServerStats {
+	ss := s.sched.Stats()
+	st := ServerStats{
+		Channels:   s.cfg.Channels,
+		QueueDepth: ss.Queued, Running: ss.Running,
+		Submitted: ss.Submitted, Completed: ss.Completed, Failed: ss.Failed,
+		Rejected: ss.Rejected, Canceled: ss.Canceled,
+		Cache:   cacheStats(s.plans),
+		Tenants: make(map[string]TenantServerStats, len(ss.Tenants)),
+	}
+	var totalBusy int64
+	for _, ts := range ss.Tenants {
+		totalBusy += ts.BusyNs
+	}
+	for name, ts := range ss.Tenants {
+		t := TenantServerStats{
+			Submitted: ts.Submitted, Completed: ts.Completed, Failed: ts.Failed,
+			Rejected: ts.Rejected, Canceled: ts.Canceled,
+			Queued: ts.Queued, Running: ts.Running,
+			BusyNs: ts.BusyNs, WaitNs: ts.WaitNs,
+		}
+		if totalBusy > 0 {
+			t.Utilization = float64(ts.BusyNs) / float64(totalBusy)
+		}
+		st.Tenants[name] = t
+	}
+	return st
+}

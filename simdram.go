@@ -29,9 +29,16 @@ import (
 
 	"simdram/internal/ctrl"
 	"simdram/internal/dram"
+	"simdram/internal/graph"
 	"simdram/internal/ops"
 	"simdram/internal/vertical"
 )
+
+// DefaultPlanCacheSize bounds the compiled-plan caches a System,
+// Cluster, or Server creates by default: enough for every distinct
+// request shape of a realistic serving mix, small enough that the
+// cached graphs stay negligible next to the simulated DRAM itself.
+const DefaultPlanCacheSize = 128
 
 // Config configures a System.
 type Config struct {
@@ -82,6 +89,9 @@ type System struct {
 
 	objects map[uint16]*Vector
 	handles handleSpace
+
+	// plans memoizes compiled expression shapes (see PlanCacheStats).
+	plans *graph.PlanCache
 }
 
 // handleSpace hands out 16-bit object handles, recycling freed ones so
@@ -128,6 +138,7 @@ func New(cfg Config) (*System, error) {
 		cu:      ctrl.New(mod, cfg.Variant),
 		tu:      vertical.NewUnit(cfg.Transposition),
 		objects: make(map[uint16]*Vector),
+		plans:   graph.NewPlanCache(DefaultPlanCacheSize),
 	}
 	s.rows = make([][]*rowAlloc, cfg.DRAM.Banks)
 	for b := range s.rows {
