@@ -56,13 +56,20 @@ func (s *System) ExecBatch(prog isa.Program) (BatchStats, error) {
 	if err != nil {
 		return BatchStats{}, err
 	}
+	return toBatchStats(st), nil
+}
+
+// toBatchStats converts the control unit's stats to the public mirror
+// — the single conversion point the "keep the fields in sync" contract
+// (and its reflection test) protects.
+func toBatchStats(st ctrl.BatchStats) BatchStats {
 	return BatchStats{
 		Instructions:   st.Instructions,
 		Commands:       st.Commands,
 		BusyNs:         st.BusyNs,
 		CriticalPathNs: st.CriticalPathNs,
 		EnergyPJ:       st.EnergyPJ,
-	}, nil
+	}
 }
 
 // execBatch is ExecBatch's engine, shared with the cluster facade: it
@@ -71,8 +78,18 @@ func (s *System) ExecBatch(prog isa.Program) (BatchStats, error) {
 // signal (closed when a sibling channel fails — issuing stops, in-flight
 // instructions complete, later ones are skipped).
 func (s *System) execBatch(prog isa.Program, cancel <-chan struct{}) (ctrl.BatchStats, error) {
+	st, _, err := s.execBatchProfile(prog, cancel)
+	return st, err
+}
+
+// execBatchProfile is execBatch surfacing the per-instruction modeled
+// latencies: opNs[i] is the measured busy time of prog[i] (0 for
+// bbop_trsp_init, which executes nothing). This is what the
+// profile-guided plan management aggregates per shape; opNs is nil
+// when the batch errors.
+func (s *System) execBatchProfile(prog isa.Program, cancel <-chan struct{}) (ctrl.BatchStats, []float64, error) {
 	if err := prog.Validate(); err != nil {
-		return ctrl.BatchStats{}, err
+		return ctrl.BatchStats{}, nil, err
 	}
 	deps := prog.Deps()
 	jobs := make([]ctrl.Job, 0, len(prog))
@@ -80,7 +97,7 @@ func (s *System) execBatch(prog isa.Program, cancel <-chan struct{}) (ctrl.Batch
 	for i, in := range prog {
 		if in.Op == isa.OpTrspInit {
 			if _, ok := s.objects[in.Src[0]]; !ok {
-				return ctrl.BatchStats{}, errorf("instruction %d: bbop_trsp_init: unknown object %d", i, in.Src[0])
+				return ctrl.BatchStats{}, nil, errorf("instruction %d: bbop_trsp_init: unknown object %d", i, in.Src[0])
 			}
 			// trsp_init only validates the object (see Exec): it writes
 			// nothing, so dropping it from the job graph loses no hazard.
@@ -89,11 +106,11 @@ func (s *System) execBatch(prog isa.Program, cancel <-chan struct{}) (ctrl.Batch
 		}
 		d, dst, srcs, err := s.resolve(in)
 		if err != nil {
-			return ctrl.BatchStats{}, errorf("instruction %d (%s): %w", i, in, err)
+			return ctrl.BatchStats{}, nil, errorf("instruction %d (%s): %w", i, in, err)
 		}
 		p, segs, err := s.prepareOp(d, dst, srcs)
 		if err != nil {
-			return ctrl.BatchStats{}, errorf("instruction %d (%s): %w", i, in, err)
+			return ctrl.BatchStats{}, nil, errorf("instruction %d (%s): %w", i, in, err)
 		}
 		var jdeps []int
 		for _, dep := range deps[i] {
@@ -105,7 +122,17 @@ func (s *System) execBatch(prog isa.Program, cancel <-chan struct{}) (ctrl.Batch
 		jobs = append(jobs, ctrl.Job{Program: p, Segments: segs, Deps: jdeps})
 	}
 	if len(jobs) == 0 {
-		return ctrl.BatchStats{}, nil // program of only trsp_init instructions
+		return ctrl.BatchStats{}, nil, nil // program of only trsp_init instructions
 	}
-	return s.cu.ExecuteBatchCancel(jobs, cancel)
+	st, durNs, err := s.cu.ExecuteBatchProfile(jobs, cancel)
+	if err != nil {
+		return st, nil, err
+	}
+	opNs := make([]float64, len(prog))
+	for i, j := range jobOf {
+		if j >= 0 {
+			opNs[i] = durNs[j]
+		}
+	}
+	return st, opNs, nil
 }

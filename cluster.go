@@ -61,8 +61,11 @@ type Cluster struct {
 	objects  map[uint16]*ShardedVector
 	handles  handleSpace
 
-	// plans memoizes compiled expression shapes (see PlanCacheStats).
-	plans *graph.PlanCache
+	// plans memoizes compiled expression shapes (see PlanCacheStats);
+	// profiles aggregates their measured per-op latencies and drives
+	// profile-guided recompiles (see ProfileStats).
+	plans    *graph.PlanCache
+	profiles *graph.ProfileStore
 }
 
 // NewCluster builds a cluster of cfg.Channels independent channels.
@@ -79,7 +82,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	default:
 		return nil, errorf("unknown placement policy %d", cfg.Placement)
 	}
-	c := &Cluster{cfg: cfg, policy: policy, objects: make(map[uint16]*ShardedVector), plans: graph.NewPlanCache(DefaultPlanCacheSize)}
+	c := &Cluster{
+		cfg: cfg, policy: policy,
+		objects:  make(map[uint16]*ShardedVector),
+		plans:    graph.NewPlanCache(DefaultPlanCacheSize),
+		profiles: graph.NewProfileStore(DefaultProfileThreshold, DefaultProfileMinJobs, defaultProfileShapes),
+	}
 	for i := 0; i < cfg.Channels; i++ {
 		sys, err := New(cfg.Channel)
 		if err != nil {
@@ -363,8 +371,19 @@ func (s ClusterBatchStats) UtilizationSkew() float64 {
 // issuing further instructions, and all failures come back in one
 // joined error annotated with the channel that raised them.
 func (c *Cluster) ExecBatch(prog isa.Program) (ClusterBatchStats, error) {
+	st, _, err := c.execBatchProfile(prog)
+	return st, err
+}
+
+// execBatchProfile is ExecBatch surfacing per-instruction measured
+// latencies for profile feedback: opNs[i] is the slowest channel's
+// modeled busy time for prog[i] (the shard that bounds the
+// instruction). opNs is nil when per-op timings cannot be attributed —
+// a channel error, or a channel whose rewritten sub-program dropped
+// instructions (zero-sized shards), which breaks index alignment.
+func (c *Cluster) execBatchProfile(prog isa.Program) (ClusterBatchStats, []float64, error) {
 	if err := prog.Validate(); err != nil {
-		return ClusterBatchStats{}, err
+		return ClusterBatchStats{}, nil, err
 	}
 	k := len(c.channels)
 	handleMaps := make([]map[uint16]uint16, k)
@@ -380,12 +399,12 @@ func (c *Cluster) ExecBatch(prog isa.Program) (ClusterBatchStats, error) {
 		for _, h := range handles {
 			sv, ok := c.objects[h]
 			if !ok {
-				return ClusterBatchStats{}, errorf("instruction %d (%s): unknown cluster object %d", i, in, h)
+				return ClusterBatchStats{}, nil, errorf("instruction %d (%s): unknown cluster object %d", i, in, h)
 			}
 			if first == nil {
 				first = sv
 			} else if !sv.plan.Equal(first.plan) {
-				return ClusterBatchStats{}, errorf(
+				return ClusterBatchStats{}, nil, errorf(
 					"instruction %d (%s): objects %d and %d are not shard-aligned (allocate operand groups with the same length and placement)",
 					i, in, first.handle, h)
 			}
@@ -409,7 +428,7 @@ func (c *Cluster) ExecBatch(prog isa.Program) (ClusterBatchStats, error) {
 	for ch := 0; ch < k; ch++ {
 		sub, err := prog.Rewrite(handleMaps[ch], sizeMaps[ch])
 		if err != nil {
-			return ClusterBatchStats{}, err
+			return ClusterBatchStats{}, nil, err
 		}
 		if len(sub) > 0 {
 			subProgs[ch] = sub
@@ -417,18 +436,35 @@ func (c *Cluster) ExecBatch(prog isa.Program) (ClusterBatchStats, error) {
 		}
 	}
 	perCh := make([]ctrl.BatchStats, k)
+	perChOp := make([][]float64, k)
 	err := cluster.Dispatch(ran, func(task, ch int, cancel <-chan struct{}) error {
-		st, err := c.channels[ch].execBatch(subProgs[ch], cancel)
+		st, opNs, err := c.channels[ch].execBatchProfile(subProgs[ch], cancel)
 		if err != nil {
 			return err
 		}
 		perCh[ch] = st
+		perChOp[ch] = opNs
 		return nil
 	})
 	if err != nil {
-		return ClusterBatchStats{}, err
+		return ClusterBatchStats{}, nil, err
 	}
 	m := cluster.Merge(perCh)
+	// Per-op attribution: the instruction's latency is its slowest
+	// shard. Only attributable when every participating channel ran the
+	// full program (a dropped zero-sized shard would shift indices).
+	opNs := make([]float64, len(prog))
+	for _, ch := range ran {
+		if len(perChOp[ch]) != len(prog) {
+			opNs = nil
+			break
+		}
+		for i, d := range perChOp[ch] {
+			if d > opNs[i] {
+				opNs[i] = d
+			}
+		}
+	}
 	return ClusterBatchStats{
 		Instructions:       m.Instructions,
 		Commands:           m.Commands,
@@ -436,7 +472,7 @@ func (c *Cluster) ExecBatch(prog isa.Program) (ClusterBatchStats, error) {
 		CriticalPathNs:     m.CriticalPathNs,
 		EnergyPJ:           m.EnergyPJ,
 		ChannelUtilization: m.ChannelUtilization,
-	}, nil
+	}, opNs, nil
 }
 
 // Run executes the named operation across the cluster: dst[i] =

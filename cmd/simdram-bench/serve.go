@@ -30,8 +30,12 @@ func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
 	}
 	cfg := simdram.DefaultServerConfig(channels)
 	// Request-sized lanes: serving jobs are small; a slimmer geometry
-	// keeps the host-side transposition cost proportionate.
-	cfg.Channel.DRAM.Cols = 1024
+	// keeps the host-side transposition cost proportionate. At 256
+	// lanes per subarray a 2048-element vector spans 8 segments over 4
+	// banks, so every instruction's measured latency is 2× the static
+	// per-subarray cost model — the divergence that drives the
+	// profile-guided recompile path the demo exercises.
+	cfg.Channel.DRAM.Cols = 256
 	cfg.QueueDepth = tenants*inflight + channels
 	srv, err := simdram.NewServer(cfg)
 	if err != nil {
@@ -39,23 +43,33 @@ func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
 	}
 	defer srv.Close()
 
-	const elems = 1024
+	const elems = 2048
 	shapes := batchgen.ServeShapes(elems)
 
-	// Warm the cache serially: one cold compile per shape. After this
-	// every job in the timed loop is the same shape as a warmed plan,
-	// so the steady-state hit rate is deterministic.
-	for i, shape := range shapes {
-		req := shape.New(rand.New(rand.NewSource(int64(i))))
-		if err := req.RunVerify(context.Background(), srv, "warmup"); err != nil {
-			return fmt.Errorf("warmup shape %s: %w", shape.Name, err)
+	// Warm the cache serially: round 1 is each shape's cold compile;
+	// rounds 2..MinJobs reuse the plan while folding measured per-op
+	// latencies into the shape's profile; round MinJobs+1 observes the
+	// diverged profile and recompiles the plan with observed costs.
+	// After this every job in the timed loop hits the profiled plan, so
+	// both the steady-state hit rate and the recompile count are
+	// deterministic.
+	for round := 0; round < simdram.DefaultProfileMinJobs+1; round++ {
+		for i, shape := range shapes {
+			req := shape.New(rand.New(rand.NewSource(int64(round*100 + i))))
+			if err := req.RunVerify(context.Background(), srv, "warmup"); err != nil {
+				return fmt.Errorf("warmup shape %s: %w", shape.Name, err)
+			}
 		}
+	}
+	if got, want := srv.Stats().Profile.Recompiles, uint64(len(shapes)); got != want {
+		return fmt.Errorf("warmup did not converge: %d profile-guided recompiles, want %d (one per shape)", got, want)
 	}
 
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
 		hits      int
+		profiled  int
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -98,6 +112,9 @@ func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
 						if res.Compile.CacheHit {
 							hits++
 						}
+						if res.Compile.ProfiledPlan {
+							profiled++
+						}
 						mu.Unlock()
 					}
 				}()
@@ -138,8 +155,10 @@ func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
 		jobsPerSec, total, wall.Round(time.Millisecond))
 	fmt.Printf("  latency:            p50 %8.2f ms, p99 %8.2f ms\n",
 		float64(pct(0.50).Microseconds())/1e3, float64(pct(0.99).Microseconds())/1e3)
-	fmt.Printf("  plan cache:         %.1f%% hit rate in steady state (%d hits / %d jobs; %d plans cached)\n",
-		100*hitRate, hits, total, st.Cache.Size)
+	fmt.Printf("  plan cache:         %.1f%% hit rate in steady state (%d hits / %d jobs; %d plans cached, %s eviction: %d evicted, %d hot)\n",
+		100*hitRate, hits, total, st.Cache.Size, st.Cache.Policy, st.Cache.Evicted, st.Cache.EvictedHot)
+	fmt.Printf("  profile feedback:   %d shapes recompiled from measured profiles (%d jobs folded in); %d/%d steady-state jobs ran profiled plans\n",
+		st.Profile.Recompiles, st.Profile.Jobs, profiled, total)
 	fmt.Printf("  admission:          %d submitted, %d completed, %d rejected, %d canceled\n",
 		st.Submitted, st.Completed, st.Rejected, st.Canceled)
 	fmt.Printf("  per-tenant utilization: ")
@@ -167,9 +186,16 @@ func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
 	m["serve.p99_ms"] = float64(pct(0.99).Microseconds()) / 1e3
 	m["serve.cache_hit_rate"] = hitRate
 	m["serve.plans_cached"] = float64(st.Cache.Size)
+	m["serve.evicted"] = float64(st.Cache.Evicted)
+	m["serve.evicted_hot"] = float64(st.Cache.EvictedHot)
+	m["serve.recompiles"] = float64(st.Profile.Recompiles)
+	m["serve.profiled_jobs"] = float64(profiled)
 
 	if hitRate < 0.90 {
 		return fmt.Errorf("serving demo regressed: plan-cache hit rate %.1f%% on repeated request shapes, want >= 90%%", 100*hitRate)
+	}
+	if profiled != total {
+		return fmt.Errorf("serving demo regressed: %d of %d steady-state jobs ran profiled plans, want all (profile-guided recompile converged during warmup)", profiled, total)
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package simdram
 
 import (
+	"time"
+
 	"simdram/internal/graph"
 	"simdram/internal/isa"
 	"simdram/internal/ops"
@@ -193,6 +195,20 @@ type CompileStats struct {
 	// skipped and only operand binding ran. The pass counters above
 	// then describe what the original cold compile did.
 	CacheHit bool
+	// Recompiled reports that this compilation rebuilt the shape's plan
+	// from its measured profile: the shape's observed per-op latencies
+	// had diverged from the static cost model beyond the profile
+	// threshold, so the scheduler re-ran with observed costs and the
+	// cached plan was replaced.
+	Recompiled bool
+	// ProfiledPlan reports that the plan used (freshly rebuilt or
+	// cached) was scheduled with observed per-op costs rather than the
+	// static model — the jobs that benefit from a past recompile.
+	ProfiledPlan bool
+	// ProfileJobs is how many executed jobs had been folded into this
+	// shape's profile when the plan was resolved (0 when no profile
+	// feedback is active for the shape).
+	ProfileJobs int
 }
 
 // TempRowsSaved returns the fraction of temporary rows lifetime reuse
@@ -219,6 +235,7 @@ type compileEnv struct {
 	firstVec   *Expr // first Vector leaf: defines System placement
 	firstShard *Expr // first ShardedVector leaf: defines Cluster placement
 	n          int
+	key        string // plan-cache shape key, set by planExprs
 }
 
 func (env *compileEnv) node(e *Expr) (graph.NodeID, error) {
@@ -339,8 +356,17 @@ func optsKey(opts CompileOptions) string {
 // optimized graph — the fresh graph and the cached one are structurally
 // identical by construction (the cache key is the exact pre-pass
 // serialization, and passes never renumber nodes), so the node IDs in
-// env.leafOf remain valid. cache may be nil (no caching).
-func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr, cache *graph.PlanCache) (*compileEnv, *graph.Plan, CompileStats, error) {
+// env.leafOf remain valid. Concurrent cold compiles of one shape are
+// deduplicated by the cache (PlanCache.Do): one caller compiles, the
+// rest wait for its plan. cache may be nil (no caching).
+//
+// When profiles is non-nil and the shape's measured per-op latencies
+// have diverged from the static cost model (ProfileStore.TakeRecompile),
+// the cached plan is invalidated and rebuilt with observed costs —
+// exactly one caller per diverged shape performs the recompile.
+// Profile feedback only reprices the schedule, so it is disabled when
+// opts.NoSchedule pins construction order.
+func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr, cache *graph.PlanCache, profiles *graph.ProfileStore) (*compileEnv, *graph.Plan, CompileStats, error) {
 	var stats CompileStats
 	if len(exprs) == 0 {
 		return nil, nil, stats, errorf("graph: nothing to materialize")
@@ -367,14 +393,41 @@ func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr, cac
 		}
 	}
 	key := optsKey(opts) + env.g.CanonicalKey()
-	plan := cache.Lookup(key)
-	if plan == nil {
-		plan = buildPlan(env.g, opts, planCfg(sys, cl))
-		cache.Insert(key, plan)
-	} else {
-		env.g = plan.Graph
-		stats.CacheHit = true
+	env.key = key
+	if opts.NoSchedule {
+		profiles = nil
 	}
+	model := modelCost(planCfg(sys, cl))
+	var plan *graph.Plan
+	if profiles.TakeRecompile(key) {
+		start := time.Now()
+		observed := profiles.ScheduleCost(key, model)
+		plan = buildPlan(env.g, opts, observed)
+		// The list scheduler is a heuristic: re-pricing can, on some
+		// DAGs, reorder priorities unfavorably. Price both candidate
+		// schedules under the observed costs and keep the better one,
+		// so a recompile can never install a worse schedule than the
+		// one it replaces.
+		cfg := planCfg(sys, cl)
+		staticSched := plan.Graph.Schedule(model)
+		if plan.Graph.EstimateMakespanNs(staticSched, observed, cfg.DRAM.Banks) <
+			plan.Graph.EstimateMakespanNs(plan.Sched, observed, cfg.DRAM.Banks) {
+			plan.Sched = staticSched
+			plan.Asg = graph.Assign(plan.Graph, plan.Sched, !opts.NoReuse)
+		}
+		plan.Profiled = true
+		cache.Replace(key, plan, float64(time.Since(start).Nanoseconds()))
+		stats.Recompiled = true
+	} else {
+		var hit bool
+		plan, hit = cache.Do(key, func() *graph.Plan { return buildPlan(env.g, opts, model) })
+		if hit {
+			env.g = plan.Graph
+			stats.CacheHit = true
+		}
+	}
+	stats.ProfiledPlan = plan.Profiled
+	stats.ProfileJobs = profiles.Jobs(key)
 	stats.Folded = plan.Folded
 	stats.CSEEliminated = plan.CSEEliminated
 	stats.DCEEliminated = plan.DCEEliminated
@@ -399,10 +452,26 @@ func planCfg(sys *System, cl *Cluster) Config {
 	return cl.cfg.Channel
 }
 
+// modelCost returns the static cost model for one channel geometry:
+// the per-op μProgram latency under the system's own timing constants
+// — what the scheduler prices with before any profile feedback exists,
+// and the baseline measured profiles are compared against.
+func modelCost(cfg Config) graph.CostFn {
+	return func(d ops.Def, w, n int) float64 {
+		c, err := ops.CostNs(d, w, n, cfg.Variant, cfg.DRAM.Timing)
+		if err != nil {
+			return 1 // synthesis failures resurface with context at execution
+		}
+		return c
+	}
+}
+
 // buildPlan runs the optimization passes, the scheduler, and the slot
 // assigner over a freshly built graph — the cold-compile path the plan
-// cache memoizes.
-func buildPlan(g *graph.Graph, opts CompileOptions, cfg Config) *graph.Plan {
+// cache memoizes. cost prices the list schedule: the static model on a
+// cold compile, observed per-op latencies on a profile-guided
+// recompile.
+func buildPlan(g *graph.Graph, opts CompileOptions, cost graph.CostFn) *graph.Plan {
 	plan := &graph.Plan{Graph: g}
 	if !opts.NoFold {
 		plan.Folded = g.FoldConstants()
@@ -416,13 +485,7 @@ func buildPlan(g *graph.Graph, opts CompileOptions, cfg Config) *graph.Plan {
 	if opts.NoSchedule {
 		plan.Sched = g.ProgramOrder()
 	} else {
-		plan.Sched = g.Schedule(func(d ops.Def, w, n int) float64 {
-			c, err := ops.CostNs(d, w, n, cfg.Variant, cfg.DRAM.Timing)
-			if err != nil {
-				return 1 // synthesis failures resurface with context at execution
-			}
-			return c
-		})
+		plan.Sched = g.Schedule(cost)
 	}
 	plan.Asg = graph.Assign(g, plan.Sched, !opts.NoReuse)
 	return plan
@@ -673,6 +736,36 @@ func (lw *lowered) discardResults() {
 	lw.results = nil
 }
 
+// planFeedback carries what an execution needs to fold its measured
+// per-op latencies back into the shape's profile: the store, the shape
+// key, the plan (for op identities, aligned with the lowered program),
+// and the static cost model the observations are compared against. A
+// nil feedback records nothing.
+type planFeedback struct {
+	profiles *graph.ProfileStore
+	key      string
+	plan     *graph.Plan
+	model    graph.CostFn
+}
+
+// record folds one executed batch's per-op latencies into the profile.
+func (f *planFeedback) record(opNs []float64) {
+	if f == nil {
+		return
+	}
+	f.profiles.Record(f.key, f.plan, opNs, f.model)
+}
+
+// feedbackFor builds the execution→profile feedback for one planned
+// compilation, or nil when profile feedback is off for it (no store,
+// or the schedule was pinned to construction order).
+func feedbackFor(profiles *graph.ProfileStore, env *compileEnv, plan *graph.Plan, opts CompileOptions, cfg Config) *planFeedback {
+	if profiles == nil || opts.NoSchedule {
+		return nil
+	}
+	return &planFeedback{profiles: profiles, key: env.key, plan: plan, model: modelCost(cfg)}
+}
+
 // Compiled is a lazily built expression graph lowered for one System:
 // the batched bbop program plus the temporary, constant, and result
 // vectors it runs against. Execute may be called repeatedly (results
@@ -682,6 +775,7 @@ type Compiled struct {
 	sys   *System
 	lw    *lowered
 	stats CompileStats
+	fb    *planFeedback
 	freed bool
 }
 
@@ -694,7 +788,7 @@ func (s *System) Compile(exprs ...*Expr) (*Compiled, error) {
 // primarily for differential testing and baseline measurement; regular
 // callers want Compile or Materialize.
 func (s *System) CompileWith(opts CompileOptions, exprs ...*Expr) (*Compiled, error) {
-	env, plan, stats, err := planExprs(s, nil, opts, exprs, s.plans)
+	env, plan, stats, err := planExprs(s, nil, opts, exprs, s.plans, s.profiles)
 	if err != nil {
 		return nil, err
 	}
@@ -711,7 +805,7 @@ func (s *System) CompileWith(opts CompileOptions, exprs ...*Expr) (*Compiled, er
 		return nil, err
 	}
 	lw.publish()
-	return &Compiled{sys: s, lw: lw, stats: stats}, nil
+	return &Compiled{sys: s, lw: lw, stats: stats, fb: feedbackFor(s.profiles, env, plan, opts, s.cfg)}, nil
 }
 
 // leafDataOf resolves Input data leaves to their payloads for
@@ -725,10 +819,22 @@ func leafDataOf(env *compileEnv) func(graph.NodeID) ([]uint64, bool) {
 	}
 }
 
-// PlanCacheStats reports the System's compiled-plan cache counters.
+// PlanCacheStats reports the System's compiled-plan cache counters. A
+// disabled cache reports the zero value (no counter churn, no policy).
 type PlanCacheStats struct {
 	Hits, Misses, Evicted uint64
-	Size, Capacity        int
+	// EvictedHot counts evicted plans that had been hit at least once —
+	// warm shapes lost to capacity pressure. The cost-LRU policy keeps
+	// this low under cold-shape churn; a rising value means the cache
+	// is genuinely too small for the live shape population.
+	EvictedHot uint64
+	// Coalesced counts lookups that waited for a concurrent compile of
+	// the same shape instead of compiling their own plan.
+	Coalesced      uint64
+	Size, Capacity int
+	// Policy names the eviction policy ("cost-lru"; empty when caching
+	// is disabled).
+	Policy string
 }
 
 // HitRate returns hits / lookups, or 0 before the first lookup.
@@ -742,12 +848,40 @@ func (s PlanCacheStats) HitRate() float64 {
 
 func cacheStats(c *graph.PlanCache) PlanCacheStats {
 	st := c.Stats()
-	return PlanCacheStats{Hits: st.Hits, Misses: st.Misses, Evicted: st.Evicted, Size: st.Size, Capacity: st.Capacity}
+	return PlanCacheStats{
+		Hits: st.Hits, Misses: st.Misses,
+		Evicted: st.Evicted, EvictedHot: st.EvictedHot, Coalesced: st.Coalesced,
+		Size: st.Size, Capacity: st.Capacity, Policy: st.Policy,
+	}
 }
 
 // PlanCacheStats reports the hit/miss counters of the System's
 // compiled-plan cache, which Compile/CompileWith/Materialize consult.
 func (s *System) PlanCacheStats() PlanCacheStats { return cacheStats(s.plans) }
+
+// ProfileStats reports a profile store's aggregation counters.
+type ProfileStats struct {
+	// Shapes is the number of request shapes with at least one recorded
+	// execution.
+	Shapes int
+	// Jobs is the total executed jobs folded into profiles.
+	Jobs uint64
+	// Recompiles counts profile-guided plan rebuilds: shapes whose
+	// measured per-op latencies diverged from the static cost model far
+	// enough that the plan was re-scheduled with observed costs.
+	Recompiles uint64
+}
+
+func profileStats(p *graph.ProfileStore) ProfileStats {
+	st := p.Stats()
+	return ProfileStats{Shapes: st.Shapes, Jobs: st.Jobs, Recompiles: st.Recompiles}
+}
+
+// ProfileStats reports the System's shape-profile counters: executed
+// Materialize/Execute batches fold their measured per-op latencies
+// into per-shape profiles, and divergent shapes are recompiled with
+// observed costs on their next Compile.
+func (s *System) ProfileStats() ProfileStats { return profileStats(s.profiles) }
 
 // Materialize compiles and executes the expressions as one batch,
 // releasing every temporary afterwards. Each expression's value is then
@@ -778,7 +912,9 @@ func (cp *Compiled) Program() isa.Program {
 }
 
 // Execute runs the compiled batch. Results become valid once it
-// returns; calling it again recomputes them in place.
+// returns; calling it again recomputes them in place. Each successful
+// run folds its measured per-op latencies into the System's shape
+// profile, feeding the profile-guided recompile loop.
 func (cp *Compiled) Execute() (BatchStats, error) {
 	if cp.freed {
 		return BatchStats{}, errorf("graph: compiled program already freed")
@@ -788,7 +924,12 @@ func (cp *Compiled) Execute() (BatchStats, error) {
 		// already materialized by allocation/splat alone.
 		return BatchStats{}, nil
 	}
-	return cp.sys.ExecBatch(cp.lw.prog)
+	st, opNs, err := cp.sys.execBatchProfile(cp.lw.prog, nil)
+	if err != nil {
+		return BatchStats{}, err
+	}
+	cp.fb.record(opNs)
+	return toBatchStats(st), nil
 }
 
 // Free releases the compiler-allocated temporaries and constant splats.

@@ -19,6 +19,7 @@ type ClusterCompiled struct {
 	cl    *Cluster
 	lw    *lowered
 	stats CompileStats
+	fb    *planFeedback
 	freed bool
 }
 
@@ -31,7 +32,7 @@ func (c *Cluster) Compile(exprs ...*Expr) (*ClusterCompiled, error) {
 // CompileWith is Compile with selected passes disabled — primarily for
 // differential testing and baseline measurement.
 func (c *Cluster) CompileWith(opts CompileOptions, exprs ...*Expr) (*ClusterCompiled, error) {
-	env, plan, stats, err := planExprs(nil, c, opts, exprs, c.plans)
+	env, plan, stats, err := planExprs(nil, c, opts, exprs, c.plans, c.profiles)
 	if err != nil {
 		return nil, err
 	}
@@ -76,12 +77,18 @@ func (c *Cluster) CompileWith(opts CompileOptions, exprs ...*Expr) (*ClusterComp
 		return nil, err
 	}
 	lw.publish()
-	return &ClusterCompiled{cl: c, lw: lw, stats: stats}, nil
+	return &ClusterCompiled{cl: c, lw: lw, stats: stats, fb: feedbackFor(c.profiles, env, plan, opts, c.cfg.Channel)}, nil
 }
 
 // PlanCacheStats reports the hit/miss counters of the Cluster's
 // compiled-plan cache, which Compile/CompileWith/Materialize consult.
 func (c *Cluster) PlanCacheStats() PlanCacheStats { return cacheStats(c.plans) }
+
+// ProfileStats reports the Cluster's shape-profile counters: executed
+// Materialize/Execute batches fold their measured per-op latencies
+// into per-shape profiles, and divergent shapes are recompiled with
+// observed costs on their next Compile.
+func (c *Cluster) ProfileStats() ProfileStats { return profileStats(c.profiles) }
 
 // Materialize compiles and executes the expressions as one batch fanned
 // across every channel, releasing every temporary afterwards. Each
@@ -112,6 +119,9 @@ func (cp *ClusterCompiled) Program() isa.Program {
 
 // Execute runs the compiled batch across the cluster. Results become
 // valid once it returns; calling it again recomputes them in place.
+// Each successful run folds its measured per-op latencies (the slowest
+// shard of each instruction) into the Cluster's shape profile, feeding
+// the profile-guided recompile loop.
 func (cp *ClusterCompiled) Execute() (ClusterBatchStats, error) {
 	if cp.freed {
 		return ClusterBatchStats{}, errorf("graph: compiled program already freed")
@@ -119,7 +129,12 @@ func (cp *ClusterCompiled) Execute() (ClusterBatchStats, error) {
 	if len(cp.lw.prog) == 0 {
 		return ClusterBatchStats{}, nil
 	}
-	return cp.cl.ExecBatch(cp.lw.prog)
+	st, opNs, err := cp.cl.execBatchProfile(cp.lw.prog)
+	if err != nil {
+		return ClusterBatchStats{}, err
+	}
+	cp.fb.record(opNs)
+	return st, nil
 }
 
 // Free releases the compiler-allocated temporaries and constant splats.

@@ -186,12 +186,24 @@ func (u *Unit) ExecuteBatch(jobs []Job) (BatchStats, error) {
 // ErrCanceled. A cluster uses this to stop sibling channels after one
 // channel fails. A nil cancel never fires.
 func (u *Unit) ExecuteBatchCancel(jobs []Job, cancel <-chan struct{}) (BatchStats, error) {
+	st, _, err := u.ExecuteBatchProfile(jobs, cancel)
+	return st, err
+}
+
+// ExecuteBatchProfile is ExecuteBatchCancel surfacing the per-job
+// modeled busy durations alongside the aggregate stats: opNs[i] is job
+// i's latency under the timing model — μProgram latency times the
+// segment count on its busiest bank. These are the per-op measured
+// latencies a profile-guided scheduler folds back into its cost model
+// (the static per-subarray model never sees the per-bank segment
+// multiplier). opNs is nil when the batch errors.
+func (u *Unit) ExecuteBatchProfile(jobs []Job, cancel <-chan struct{}) (BatchStats, []float64, error) {
 	if len(jobs) == 0 {
-		return BatchStats{}, fmt.Errorf("ctrl: empty batch")
+		return BatchStats{}, nil, fmt.Errorf("ctrl: empty batch")
 	}
 	pl, err := u.plan(jobs)
 	if err != nil {
-		return BatchStats{}, err
+		return BatchStats{}, nil, err
 	}
 	n := len(jobs)
 	succs := make([][]int, n)
@@ -284,7 +296,7 @@ func (u *Unit) ExecuteBatchCancel(jobs []Job, cancel <-chan struct{}) (BatchStat
 		failures = append(failures, fmt.Errorf("%w: %d of %d instructions completed", ErrCanceled, doneJobs, n))
 	}
 	if err := errors.Join(failures...); err != nil {
-		return BatchStats{}, err
+		return BatchStats{}, nil, err
 	}
 	st := BatchStats{
 		Instructions:   int64(n),
@@ -299,7 +311,7 @@ func (u *Unit) ExecuteBatchCancel(jobs []Job, cancel <-chan struct{}) (BatchStat
 		BusyNs:       st.CriticalPathNs,
 		EnergyPJ:     st.EnergyPJ,
 	})
-	return st, nil
+	return st, pl.durNs, nil
 }
 
 func (pl *batchPlan) totalGroups() int {

@@ -5,8 +5,54 @@ import "simdram/internal/ops"
 // CostFn estimates the latency of one operation instruction: d applied
 // at operation width w over n operands. The facade plugs in
 // ops.CostNs under the system's own timing constants, so scheduling
-// decisions use the same per-op timings execution bills.
+// decisions use the same per-op timings execution bills; a
+// profile-guided recompile instead plugs in ProfileStore.ScheduleCost,
+// which prices op classes at the latencies the batch engine actually
+// measured (the static model is per-subarray and does not see, e.g.,
+// how many segments of a long vector serialize on one bank).
 type CostFn func(d ops.Def, width, n int) float64
+
+// EstimateMakespanNs prices a schedule under the given cost model with
+// a deterministic in-order greedy simulation on `machines` parallel
+// resources — the graph-level proxy for the batch engine's
+// bank-limited overlap (issue in schedule order; a node starts when
+// its argument nodes have finished and the earliest machine frees).
+// It lets two candidate schedules of the same graph be compared under
+// one cost model, which is how a profile-guided recompile guarantees
+// it never installs a schedule worse than the one it replaces.
+func (g *Graph) EstimateMakespanNs(sched []NodeID, cost CostFn, machines int) float64 {
+	if machines < 1 {
+		machines = 1
+	}
+	finish := make([]float64, len(g.nodes))
+	free := make([]float64, machines)
+	makespan := 0.0
+	for _, id := range sched {
+		node := g.Node(id)
+		start := 0.0
+		for _, a := range node.Args {
+			if finish[a] > start {
+				start = finish[a]
+			}
+		}
+		m := 0
+		for i := 1; i < machines; i++ {
+			if free[i] < free[m] {
+				m = i
+			}
+		}
+		if free[m] > start {
+			start = free[m]
+		}
+		end := start + cost(node.Op, g.OpWidth(id), len(node.Args))
+		finish[id] = end
+		free[m] = end
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan
+}
 
 // ProgramOrder returns the live operation nodes in construction order —
 // the unoptimized schedule naive lowering uses. Construction order is a

@@ -111,6 +111,7 @@ type tenantState struct {
 
 	submitted, completed, failed, rejected, canceled uint64
 	busyNs, waitNs                                   int64
+	modeledNs                                        float64
 }
 
 // Scheduler dispatches tenant jobs onto a fixed worker pool. Safe for
@@ -271,6 +272,26 @@ func (s *Scheduler) pop() *job {
 	return j
 }
 
+// Observe feeds one executed job's modeled cost back into the
+// tenant's accounting — the serving layer reports each completed
+// batch's modeled DRAM time (critical path) here, so capacity stats
+// can price tenants in simulated-hardware time rather than host wall
+// time (which inflates under host contention). Unknown tenants (e.g.
+// already evicted by the tenant-state cap) are recorded fresh.
+func (s *Scheduler) Observe(tenant string, modeledNs float64) {
+	if modeledNs <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{}
+		s.tenants[tenant] = ts
+	}
+	ts.modeledNs += modeledNs
+}
+
 // tenantStateCap bounds how many per-tenant records the scheduler
 // retains: beyond it, records of idle tenants (nothing queued or
 // running) are evicted oldest-iteration-order-first, so unbounded
@@ -414,6 +435,9 @@ type TenantStats struct {
 	// WaitNs cumulative time they spent queued. Monotonic, never
 	// negative, regardless of the order jobs complete in.
 	BusyNs, WaitNs int64
+	// ModeledNs is the cumulative modeled execution cost reported via
+	// Observe — zero unless the execution layer feeds its stats back.
+	ModeledNs float64
 }
 
 // Stats is a point-in-time snapshot of the scheduler.
@@ -441,6 +465,7 @@ func (s *Scheduler) Stats() Stats {
 			Rejected: ts.rejected, Canceled: ts.canceled,
 			Queued: len(ts.queue), Running: ts.running,
 			BusyNs: ts.busyNs, WaitNs: ts.waitNs,
+			ModeledNs: ts.modeledNs,
 		}
 	}
 	return st

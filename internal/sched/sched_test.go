@@ -353,3 +353,31 @@ func TestConcurrentSubmitStress(t *testing.T) {
 		t.Fatalf("scheduler not drained: %+v", st)
 	}
 }
+
+// TestObserveFeedsTenantModeledTime pins the execution-stats feedback
+// path: modeled costs reported through Observe accumulate per tenant,
+// non-positive reports are ignored, and unknown tenants get a fresh
+// record.
+func TestObserveFeedsTenantModeledTime(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	tk, err := s.Submit(nil, "a", func(int, <-chan struct{}) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s.Observe("a", 1500)
+	s.Observe("a", 500)
+	s.Observe("a", 0)          // ignored
+	s.Observe("a", -10)        // ignored
+	s.Observe("phantom", 2000) // never submitted: fresh record
+	st := s.Stats()
+	if got := st.Tenants["a"].ModeledNs; got != 2000 {
+		t.Fatalf("tenant a ModeledNs = %v, want 2000", got)
+	}
+	if got := st.Tenants["phantom"].ModeledNs; got != 2000 {
+		t.Fatalf("phantom tenant ModeledNs = %v, want 2000", got)
+	}
+}

@@ -40,6 +40,16 @@ type ServerConfig struct {
 	// PlanCacheSize bounds the shared compiled-plan cache. Defaults to
 	// DefaultPlanCacheSize; negative disables caching.
 	PlanCacheSize int
+	// ProfileThreshold is the relative divergence between a shape's
+	// mean measured per-op latencies and the static cost model beyond
+	// which the server invalidates the shape's cached plan and
+	// recompiles it with observed costs. Defaults to
+	// DefaultProfileThreshold; negative disables profile feedback.
+	ProfileThreshold float64
+	// ProfileMinJobs is how many executed jobs must fold into a shape's
+	// profile before divergence can trigger a recompile. Defaults to
+	// DefaultProfileMinJobs.
+	ProfileMinJobs int
 }
 
 // DefaultServerConfig returns a server of n default-geometry channels
@@ -71,10 +81,11 @@ func DefaultServerConfig(n int) ServerConfig {
 // submission time, so an expression bound to a particular System's
 // vectors is rejected.
 type Server struct {
-	cfg   ServerConfig
-	cl    *Cluster
-	sched *sched.Scheduler
-	plans *graph.PlanCache
+	cfg      ServerConfig
+	cl       *Cluster
+	sched    *sched.Scheduler
+	plans    *graph.PlanCache
+	profiles *graph.ProfileStore
 }
 
 // NewServer builds the channels and starts the scheduler's worker
@@ -89,14 +100,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.PlanCacheSize == 0 {
 		cfg.PlanCacheSize = DefaultPlanCacheSize
 	}
+	if cfg.ProfileThreshold == 0 {
+		cfg.ProfileThreshold = DefaultProfileThreshold
+	}
+	if cfg.ProfileMinJobs == 0 {
+		cfg.ProfileMinJobs = DefaultProfileMinJobs
+	}
 	cl, err := NewCluster(ClusterConfig{Channels: cfg.Channels, Channel: cfg.Channel, Placement: PlaceRoundRobin})
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		cl:    cl,
-		plans: graph.NewPlanCache(cfg.PlanCacheSize),
+		cfg:      cfg,
+		cl:       cl,
+		plans:    graph.NewPlanCache(cfg.PlanCacheSize),
+		profiles: graph.NewProfileStore(cfg.ProfileThreshold, cfg.ProfileMinJobs, 4*cfg.PlanCacheSize),
 	}
 	s.sched = sched.New(sched.Config{
 		Workers:     cfg.Channels,
@@ -184,7 +202,13 @@ func (s *Server) SubmitLazy(ctx context.Context, tenant string, exprs ...*Expr) 
 	}
 	res := &JobResult{}
 	t, err := s.sched.Submit(ctx, tenant, func(worker int, cancel <-chan struct{}) error {
-		return s.runLazy(s.cl.Channel(worker), cancel, exprs, res)
+		err := s.runLazy(s.cl.Channel(worker), cancel, exprs, res)
+		if err == nil {
+			// Feed the executed batch's modeled DRAM time back into the
+			// scheduler's per-tenant accounting.
+			s.sched.Observe(tenant, res.Batch.CriticalPathNs)
+		}
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -236,10 +260,12 @@ func checkServable(e *Expr, seen map[*Expr]bool) error {
 }
 
 // runLazy is the per-job serving pipeline on one channel: plan (cache
-// hit or cold compile), bind payloads, execute with preemptive
-// cancellation, load every root, release everything.
+// hit, cold compile, or profile-guided recompile), bind payloads,
+// execute with preemptive cancellation, fold the measured per-op
+// latencies into the shape's profile, load every root, release
+// everything.
 func (s *Server) runLazy(sys *System, cancel <-chan struct{}, exprs []*Expr, res *JobResult) error {
-	env, plan, cst, err := planExprs(sys, nil, CompileOptions{}, exprs, s.plans)
+	env, plan, cst, err := planExprs(sys, nil, CompileOptions{}, exprs, s.plans, s.profiles)
 	if err != nil {
 		return err
 	}
@@ -265,17 +291,12 @@ func (s *Server) runLazy(sys *System, cancel <-chan struct{}, exprs []*Expr, res
 		}
 	}()
 	if len(lw.prog) > 0 {
-		st, err := sys.execBatch(lw.prog, cancel)
+		st, opNs, err := sys.execBatchProfile(lw.prog, cancel)
 		if err != nil {
 			return err
 		}
-		res.Batch = BatchStats{
-			Instructions:   st.Instructions,
-			Commands:       st.Commands,
-			BusyNs:         st.BusyNs,
-			CriticalPathNs: st.CriticalPathNs,
-			EnergyPJ:       st.EnergyPJ,
-		}
+		s.profiles.Record(env.key, plan, opNs, modelCost(sys.cfg))
+		res.Batch = toBatchStats(st)
 	}
 	res.Values = make([][]uint64, len(lw.results))
 	for i, r := range lw.results {
@@ -296,6 +317,11 @@ type TenantServerStats struct {
 	// BusyNs is cumulative wall time this tenant's jobs spent running;
 	// WaitNs cumulative time queued.
 	BusyNs, WaitNs int64
+	// ModeledNs is the cumulative modeled DRAM time (batch critical
+	// path) of the tenant's completed jobs — the fed-back execution
+	// stats, which price capacity in simulated-hardware time rather
+	// than host wall time.
+	ModeledNs float64
 	// Utilization is the tenant's share of all execution time the
 	// server has performed so far (0 when nothing has run).
 	Utilization float64
@@ -308,8 +334,12 @@ type ServerStats struct {
 	// number executing right now.
 	QueueDepth, Running                              int
 	Submitted, Completed, Failed, Rejected, Canceled uint64
-	// Cache reports the shared compiled-plan cache.
-	Cache   PlanCacheStats
+	// Cache reports the shared compiled-plan cache (cost-LRU eviction:
+	// see Cache.Policy, Evicted, EvictedHot).
+	Cache PlanCacheStats
+	// Profile reports the shape-profile aggregation driving
+	// profile-guided recompiles.
+	Profile ProfileStats
 	Tenants map[string]TenantServerStats
 }
 
@@ -326,6 +356,7 @@ func (s *Server) Stats() ServerStats {
 		Submitted: ss.Submitted, Completed: ss.Completed, Failed: ss.Failed,
 		Rejected: ss.Rejected, Canceled: ss.Canceled,
 		Cache:   cacheStats(s.plans),
+		Profile: profileStats(s.profiles),
 		Tenants: make(map[string]TenantServerStats, len(ss.Tenants)),
 	}
 	var totalBusy int64
@@ -338,6 +369,7 @@ func (s *Server) Stats() ServerStats {
 			Rejected: ts.Rejected, Canceled: ts.Canceled,
 			Queued: ts.Queued, Running: ts.Running,
 			BusyNs: ts.BusyNs, WaitNs: ts.WaitNs,
+			ModeledNs: ts.ModeledNs,
 		}
 		if totalBusy > 0 {
 			t.Utilization = float64(ts.BusyNs) / float64(totalBusy)

@@ -40,6 +40,22 @@ import (
 // cached graphs stay negligible next to the simulated DRAM itself.
 const DefaultPlanCacheSize = 128
 
+// Profile-feedback defaults: a shape's plan is recompiled with
+// observed per-op costs once at least DefaultProfileMinJobs executed
+// jobs have been folded into its profile and some op's mean measured
+// latency diverges from the static cost model by more than
+// DefaultProfileThreshold (relative). The static model is
+// per-subarray; long vectors whose segments serialize on a bank run
+// integer multiples of it, so a generous threshold separates real
+// divergence from noise-free equality.
+const (
+	DefaultProfileThreshold = 0.25
+	DefaultProfileMinJobs   = 3
+	// defaultProfileShapes bounds the shapes a profile store retains —
+	// above the plan cache so profiles survive their plan's eviction.
+	defaultProfileShapes = 4 * DefaultPlanCacheSize
+)
+
 // Config configures a System.
 type Config struct {
 	DRAM          dram.Config
@@ -90,8 +106,11 @@ type System struct {
 	objects map[uint16]*Vector
 	handles handleSpace
 
-	// plans memoizes compiled expression shapes (see PlanCacheStats).
-	plans *graph.PlanCache
+	// plans memoizes compiled expression shapes (see PlanCacheStats);
+	// profiles aggregates their measured per-op latencies and drives
+	// profile-guided recompiles (see ProfileStats).
+	plans    *graph.PlanCache
+	profiles *graph.ProfileStore
 }
 
 // handleSpace hands out 16-bit object handles, recycling freed ones so
@@ -133,12 +152,13 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		cfg:     cfg,
-		mod:     mod,
-		cu:      ctrl.New(mod, cfg.Variant),
-		tu:      vertical.NewUnit(cfg.Transposition),
-		objects: make(map[uint16]*Vector),
-		plans:   graph.NewPlanCache(DefaultPlanCacheSize),
+		cfg:      cfg,
+		mod:      mod,
+		cu:       ctrl.New(mod, cfg.Variant),
+		tu:       vertical.NewUnit(cfg.Transposition),
+		objects:  make(map[uint16]*Vector),
+		plans:    graph.NewPlanCache(DefaultPlanCacheSize),
+		profiles: graph.NewProfileStore(DefaultProfileThreshold, DefaultProfileMinJobs, defaultProfileShapes),
 	}
 	s.rows = make([][]*rowAlloc, cfg.DRAM.Banks)
 	for b := range s.rows {
