@@ -88,48 +88,135 @@ func (s *System) execBatch(prog isa.Program, cancel <-chan struct{}) (ctrl.Batch
 // profile-guided plan management aggregates per shape; opNs is nil
 // when the batch errors.
 func (s *System) execBatchProfile(prog isa.Program, cancel <-chan struct{}) (ctrl.BatchStats, []float64, error) {
-	if err := prog.Validate(); err != nil {
+	pp, err := s.prepareProgram(prog)
+	if err != nil {
 		return ctrl.BatchStats{}, nil, err
+	}
+	return s.runPrepared(pp, cancel)
+}
+
+// preparedProgram is a bbop program bound once for repeated execution:
+// the control unit's prepared batch (schedule plus resolved command
+// streams) and enough context to verify on every run that the objects
+// it was resolved against are still the live ones. Compiled graphs
+// cache one of these so steady-state Execute calls skip instruction
+// resolution, binding validation, and scheduling entirely.
+type preparedProgram struct {
+	prep   *ctrl.Prepared // nil for a program of only trsp_init instructions
+	jobOf  []int          // instruction index → job index, -1 for trsp_init
+	nInstr int
+	// binds pins every referenced handle to the Vector it resolved to:
+	// a run after the vector was freed (or its handle recycled) must
+	// fail loudly instead of computing on reallocated rows.
+	binds []objBind
+	// scratch records each touched subarray's scratch-row requirement,
+	// re-verified per run because later allocations can claim the tail
+	// rows the binding's scratch region resolved to.
+	scratch []scratchNeed
+}
+
+type objBind struct {
+	h uint16
+	v *Vector
+}
+
+type scratchNeed struct {
+	bank, sub, need int
+}
+
+// prepareProgram validates and resolves a bbop program down to a
+// control-unit prepared batch — the bind-once half of execution.
+func (s *System) prepareProgram(prog isa.Program) (*preparedProgram, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
 	}
 	deps := prog.Deps()
 	jobs := make([]ctrl.Job, 0, len(prog))
-	jobOf := make([]int, len(prog)) // instruction index → job index, -1 for trsp_init
+	pp := &preparedProgram{jobOf: make([]int, len(prog)), nInstr: len(prog)}
+	bound := map[uint16]bool{}
+	scratch := map[[2]int]int{}
+	bind := func(v *Vector) {
+		if !bound[v.handle] {
+			bound[v.handle] = true
+			pp.binds = append(pp.binds, objBind{h: v.handle, v: v})
+		}
+	}
 	for i, in := range prog {
 		if in.Op == isa.OpTrspInit {
-			if _, ok := s.objects[in.Src[0]]; !ok {
-				return ctrl.BatchStats{}, nil, errorf("instruction %d: bbop_trsp_init: unknown object %d", i, in.Src[0])
+			v, ok := s.objects[in.Src[0]]
+			if !ok {
+				return nil, errorf("instruction %d: bbop_trsp_init: unknown object %d", i, in.Src[0])
 			}
+			bind(v)
 			// trsp_init only validates the object (see Exec): it writes
 			// nothing, so dropping it from the job graph loses no hazard.
-			jobOf[i] = -1
+			pp.jobOf[i] = -1
 			continue
 		}
 		d, dst, srcs, err := s.resolve(in)
 		if err != nil {
-			return ctrl.BatchStats{}, nil, errorf("instruction %d (%s): %w", i, in, err)
+			return nil, errorf("instruction %d (%s): %w", i, in, err)
 		}
 		p, segs, err := s.prepareOp(d, dst, srcs)
 		if err != nil {
-			return ctrl.BatchStats{}, nil, errorf("instruction %d (%s): %w", i, in, err)
+			return nil, errorf("instruction %d (%s): %w", i, in, err)
+		}
+		bind(dst)
+		for _, src := range srcs {
+			bind(src)
+		}
+		for _, seg := range dst.segs {
+			key := [2]int{seg.bank, seg.sub}
+			if p.NumScratch > scratch[key] {
+				scratch[key] = p.NumScratch
+			}
 		}
 		var jdeps []int
 		for _, dep := range deps[i] {
-			if j := jobOf[dep]; j >= 0 {
+			if j := pp.jobOf[dep]; j >= 0 {
 				jdeps = append(jdeps, j)
 			}
 		}
-		jobOf[i] = len(jobs)
+		pp.jobOf[i] = len(jobs)
 		jobs = append(jobs, ctrl.Job{Program: p, Segments: segs, Deps: jdeps})
 	}
+	for key, need := range scratch {
+		pp.scratch = append(pp.scratch, scratchNeed{bank: key[0], sub: key[1], need: need})
+	}
 	if len(jobs) == 0 {
+		return pp, nil // program of only trsp_init instructions
+	}
+	prep, err := s.cu.Prepare(jobs)
+	if err != nil {
+		return nil, err
+	}
+	pp.prep = prep
+	return pp, nil
+}
+
+// runPrepared executes a prepared program — the run-many half. It
+// re-verifies object liveness and scratch headroom (the only state that
+// can legally drift between runs), then dispatches the prepared batch.
+func (s *System) runPrepared(pp *preparedProgram, cancel <-chan struct{}) (ctrl.BatchStats, []float64, error) {
+	for _, b := range pp.binds {
+		if v, ok := s.objects[b.h]; !ok || v != b.v || b.v.freed {
+			return ctrl.BatchStats{}, nil, errorf("prepared program is stale: object %d was freed or replaced", b.h)
+		}
+	}
+	for _, sc := range pp.scratch {
+		if s.rows[sc.bank][sc.sub].tailFree() < sc.need {
+			return ctrl.BatchStats{}, nil, errorf("prepared program is stale: subarray (%d,%d) lacks %d scratch rows", sc.bank, sc.sub, sc.need)
+		}
+	}
+	if pp.prep == nil {
 		return ctrl.BatchStats{}, nil, nil // program of only trsp_init instructions
 	}
-	st, durNs, err := s.cu.ExecuteBatchProfile(jobs, cancel)
+	st, durNs, err := s.cu.ExecutePrepared(pp.prep, cancel)
 	if err != nil {
 		return st, nil, err
 	}
-	opNs := make([]float64, len(prog))
-	for i, j := range jobOf {
+	opNs := make([]float64, pp.nInstr)
+	for i, j := range pp.jobOf {
 		if j >= 0 {
 			opNs[i] = durNs[j]
 		}

@@ -385,6 +385,21 @@ func (c *Cluster) execBatchProfile(prog isa.Program) (ClusterBatchStats, []float
 	if err := prog.Validate(); err != nil {
 		return ClusterBatchStats{}, nil, err
 	}
+	subProgs, ran, err := c.shardProgram(prog)
+	if err != nil {
+		return ClusterBatchStats{}, nil, err
+	}
+	return c.runSharded(len(prog), ran, func(ch int, cancel <-chan struct{}) (ctrl.BatchStats, []float64, error) {
+		return c.channels[ch].execBatchProfile(subProgs[ch], cancel)
+	})
+}
+
+// shardProgram splits a cluster-wide bbop program by shard: handles and
+// element counts are rewritten per channel, and channels whose
+// rewritten sub-program is empty (every referenced shard zero-sized
+// there) are dropped. ran lists the channels with work, the indices
+// valid into subProgs.
+func (c *Cluster) shardProgram(prog isa.Program) (subProgs []isa.Program, ran []int, err error) {
 	k := len(c.channels)
 	handleMaps := make([]map[uint16]uint16, k)
 	sizeMaps := make([]map[uint16]uint32, k)
@@ -399,12 +414,12 @@ func (c *Cluster) execBatchProfile(prog isa.Program) (ClusterBatchStats, []float
 		for _, h := range handles {
 			sv, ok := c.objects[h]
 			if !ok {
-				return ClusterBatchStats{}, nil, errorf("instruction %d (%s): unknown cluster object %d", i, in, h)
+				return nil, nil, errorf("instruction %d (%s): unknown cluster object %d", i, in, h)
 			}
 			if first == nil {
 				first = sv
 			} else if !sv.plan.Equal(first.plan) {
-				return ClusterBatchStats{}, nil, errorf(
+				return nil, nil, errorf(
 					"instruction %d (%s): objects %d and %d are not shard-aligned (allocate operand groups with the same length and placement)",
 					i, in, first.handle, h)
 			}
@@ -423,22 +438,30 @@ func (c *Cluster) execBatchProfile(prog isa.Program) (ClusterBatchStats, []float
 			}
 		}
 	}
-	subProgs := make([]isa.Program, k)
-	var ran []int
+	subProgs = make([]isa.Program, k)
 	for ch := 0; ch < k; ch++ {
 		sub, err := prog.Rewrite(handleMaps[ch], sizeMaps[ch])
 		if err != nil {
-			return ClusterBatchStats{}, nil, err
+			return nil, nil, err
 		}
 		if len(sub) > 0 {
 			subProgs[ch] = sub
 			ran = append(ran, ch)
 		}
 	}
+	return subProgs, ran, nil
+}
+
+// runSharded dispatches per-channel work in parallel and merges the
+// results under the cluster's timing model — the execution half of
+// execBatchProfile, shared with cached compiled programs (which skip
+// the sharding). run executes channel ch's share, honoring cancel.
+func (c *Cluster) runSharded(nInstr int, ran []int, run func(ch int, cancel <-chan struct{}) (ctrl.BatchStats, []float64, error)) (ClusterBatchStats, []float64, error) {
+	k := len(c.channels)
 	perCh := make([]ctrl.BatchStats, k)
 	perChOp := make([][]float64, k)
 	err := cluster.Dispatch(ran, func(task, ch int, cancel <-chan struct{}) error {
-		st, opNs, err := c.channels[ch].execBatchProfile(subProgs[ch], cancel)
+		st, opNs, err := run(ch, cancel)
 		if err != nil {
 			return err
 		}
@@ -453,9 +476,9 @@ func (c *Cluster) execBatchProfile(prog isa.Program) (ClusterBatchStats, []float
 	// Per-op attribution: the instruction's latency is its slowest
 	// shard. Only attributable when every participating channel ran the
 	// full program (a dropped zero-sized shard would shift indices).
-	opNs := make([]float64, len(prog))
+	opNs := make([]float64, nInstr)
 	for _, ch := range ran {
-		if len(perChOp[ch]) != len(prog) {
+		if len(perChOp[ch]) != nInstr {
 			opNs = nil
 			break
 		}

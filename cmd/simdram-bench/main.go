@@ -276,6 +276,9 @@ func runGraphDemo(m metrics) error {
 	m["graph.instructions"] = float64(ost.Instructions)
 	m["graph.cse_eliminated"] = float64(ost.CSEEliminated)
 	m["graph.speedup_modeled"] = serialBusyNs / bst.CriticalPathNs
+	if err := reportHostPerf(m, "host."); err != nil {
+		return err
+	}
 	if ost.CSEEliminated == 0 {
 		return fmt.Errorf("graph demo regressed: CSE eliminated no duplicated subexpressions")
 	}

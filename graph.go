@@ -777,6 +777,9 @@ type Compiled struct {
 	stats CompileStats
 	fb    *planFeedback
 	freed bool
+	// pp is the prepared (bind-once) form of lw.prog, built on first
+	// Execute: later runs skip resolution, validation, and scheduling.
+	pp *preparedProgram
 }
 
 // Compile lowers the expressions with every optimization pass enabled.
@@ -912,9 +915,12 @@ func (cp *Compiled) Program() isa.Program {
 }
 
 // Execute runs the compiled batch. Results become valid once it
-// returns; calling it again recomputes them in place. Each successful
-// run folds its measured per-op latencies into the System's shape
-// profile, feeding the profile-guided recompile loop.
+// returns; calling it again recomputes them in place. The first run
+// binds the program once (instruction resolution, binding validation,
+// scheduling, resolved command streams); repeated runs reuse that
+// prepared form and pay only the execution loop. Each successful run
+// folds its measured per-op latencies into the System's shape profile,
+// feeding the profile-guided recompile loop.
 func (cp *Compiled) Execute() (BatchStats, error) {
 	if cp.freed {
 		return BatchStats{}, errorf("graph: compiled program already freed")
@@ -924,7 +930,14 @@ func (cp *Compiled) Execute() (BatchStats, error) {
 		// already materialized by allocation/splat alone.
 		return BatchStats{}, nil
 	}
-	st, opNs, err := cp.sys.execBatchProfile(cp.lw.prog, nil)
+	if cp.pp == nil {
+		pp, err := cp.sys.prepareProgram(cp.lw.prog)
+		if err != nil {
+			return BatchStats{}, err
+		}
+		cp.pp = pp
+	}
+	st, opNs, err := cp.sys.runPrepared(cp.pp, nil)
 	if err != nil {
 		return BatchStats{}, err
 	}

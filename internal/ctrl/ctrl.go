@@ -29,6 +29,11 @@ type Unit struct {
 	mu      sync.Mutex // guards workers
 	workers *Pool
 
+	// sc caches resolved command streams per (program, binding) so
+	// repeated jobs skip validation and symbolic resolution (see
+	// resolved.go).
+	sc streamCache
+
 	Stats ExecStats
 }
 
@@ -147,8 +152,11 @@ func (u *Unit) groupBySubarray(segs []Segment) ([][]Segment, map[int]int, error)
 // runGroups executes the μProgram over each subarray group on the
 // persistent worker pool — one task per group, since distinct subarrays
 // are independent state — and joins every failure (not just the first).
+// Execution goes through the unit's resolved-stream cache unless the
+// interpretive knob is set; errors surface identically either way.
 func (u *Unit) runGroups(p *uprog.Program, groups [][]Segment) error {
 	pool := u.pool()
+	interp := u.interpretive()
 	var wg sync.WaitGroup
 	errs := make(chan error, len(groups))
 	for _, group := range groups {
@@ -158,10 +166,19 @@ func (u *Unit) runGroups(p *uprog.Program, groups [][]Segment) error {
 			defer wg.Done()
 			for _, seg := range group {
 				sa := u.mod.Subarray(seg.Bank, seg.Sub)
-				if err := uprog.Run(p, sa, seg.Binding); err != nil {
+				if interp {
+					if err := uprog.Run(p, sa, seg.Binding); err != nil {
+						errs <- fmt.Errorf("ctrl: bank %d subarray %d: %w", seg.Bank, seg.Sub, err)
+						return
+					}
+					continue
+				}
+				st, err := u.resolvedStream(p, seg.Binding)
+				if err != nil {
 					errs <- fmt.Errorf("ctrl: bank %d subarray %d: %w", seg.Bank, seg.Sub, err)
 					return
 				}
+				uprog.RunResolved(sa, st)
 			}
 		})
 	}

@@ -1,0 +1,203 @@
+package ctrl
+
+// Tests for the unit-level resolved-stream cache and the
+// prepare-once/execute-many batch path.
+
+import (
+	"math/rand"
+	"testing"
+
+	"simdram/internal/ops"
+	"simdram/internal/raceflag"
+	"simdram/internal/uprog"
+)
+
+func TestStreamCacheReuse(t *testing.T) {
+	r := newBatchRig(t)
+	u := r.unit
+
+	st1, err := u.resolvedStream(r.prog, r.bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := u.resolvedStream(r.prog, r.bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Error("same (program, binding) must return the cached stream pointer")
+	}
+	if got := u.StreamCacheSize(); got != 1 {
+		t.Errorf("StreamCacheSize = %d, want 1", got)
+	}
+
+	other := r.bind
+	other.DstBase += r.prog.DstWidth
+	st3, err := u.resolvedStream(r.prog, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3 == st1 {
+		t.Error("distinct bindings must resolve to distinct streams")
+	}
+	if got := u.StreamCacheSize(); got != 2 {
+		t.Errorf("StreamCacheSize = %d, want 2", got)
+	}
+}
+
+func TestStreamCacheBypassesManySources(t *testing.T) {
+	r := newBatchRig(t)
+	u := r.unit
+	var red *ops.Def
+	for _, d := range ops.Catalog() {
+		if d.Arity < 0 {
+			d := d
+			red = &d
+			break
+		}
+	}
+	if red == nil {
+		t.Skip("no N-ary operation in the catalog")
+	}
+	p, err := u.Program(*red, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := uprog.Binding{SrcBase: []int{0, 4, 8, 12}, DstBase: 16, ScratchBase: 32}
+	if _, err := u.resolvedStream(p, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.StreamCacheSize(); got != 0 {
+		t.Errorf("binding with >3 sources must bypass the cache, size = %d", got)
+	}
+}
+
+// TestStreamCacheHitZeroAlloc gates the steady-state lookup: a cache hit
+// must not touch the heap.
+func TestStreamCacheHitZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector allocates; gate runs in the non-race CI job")
+	}
+	r := newBatchRig(t)
+	u := r.unit
+	if _, err := u.resolvedStream(r.prog, r.bind); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := u.resolvedStream(r.prog, r.bind); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("stream-cache hit allocated %.1f times, want 0", allocs)
+	}
+}
+
+// TestPreparedReuse pins the bind-once/run-many contract: one Prepare,
+// many ExecutePrepared calls, identical results and stats every time.
+func TestPreparedReuse(t *testing.T) {
+	r := newBatchRig(t)
+	rng := rand.New(rand.NewSource(11))
+	want0 := r.seed(t, rng, 0, 0)
+	want1 := r.seed(t, rng, 1, 0)
+	jobs := []Job{
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 0, Binding: r.bind}}},
+		{Program: r.prog, Segments: []Segment{{Bank: 1, Sub: 0, Binding: r.bind}}},
+	}
+	pb, err := r.unit.Prepare(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Jobs() != 2 {
+		t.Fatalf("Jobs() = %d, want 2", pb.Jobs())
+	}
+	var prev BatchStats
+	for run := 0; run < 3; run++ {
+		st, durNs, err := r.unit.ExecutePrepared(pb, nil)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if len(durNs) != 2 {
+			t.Fatalf("run %d: durNs has %d entries, want 2", run, len(durNs))
+		}
+		if run > 0 && st != prev {
+			t.Fatalf("run %d stats %+v differ from first run %+v", run, st, prev)
+		}
+		prev = st
+		r.checkDst(t, 0, 0, r.bind.DstBase, want0)
+		r.checkDst(t, 1, 0, r.bind.DstBase, want1)
+	}
+}
+
+// TestPreparedMatchesBatchProfile checks that the one-shot path is just
+// Prepare + ExecutePrepared: identical stats either way.
+func TestPreparedMatchesBatchProfile(t *testing.T) {
+	r := newBatchRig(t)
+	rng := rand.New(rand.NewSource(17))
+	r.seed(t, rng, 0, 0)
+	r.seed(t, rng, 0, 1)
+	jobs := []Job{
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 0, Binding: r.bind}}},
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 1, Binding: r.bind}}, Deps: []int{0}},
+	}
+	st1, _, err := r.unit.ExecuteBatchProfile(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := r.unit.Prepare(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, _, err := r.unit.ExecutePrepared(pb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatalf("ExecuteBatchProfile stats %+v != Prepare/ExecutePrepared stats %+v", st1, st2)
+	}
+}
+
+// TestPreparedPlanZeroAllocPerRun is the acceptance gate from the
+// issue: steady-state execution of a cached plan's μPrograms performs
+// zero heap allocations per run. The per-μProgram kernel of a prepared
+// batch is RunResolved over a cached stream; this replays exactly the
+// stream a Prepare stored.
+func TestPreparedPlanZeroAllocPerRun(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector allocates; gate runs in the non-race CI job")
+	}
+	r := newBatchRig(t)
+	jobs := []Job{{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 0, Binding: r.bind}}}}
+	pb, err := r.unit.Prepare(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := pb.streams[0][0][0]
+	if ss.err != nil {
+		t.Fatal(ss.err)
+	}
+	sa := r.mod.Subarray(0, 0)
+	allocs := testing.AllocsPerRun(20, func() { uprog.RunResolved(sa, ss.stream) })
+	if allocs != 0 {
+		t.Fatalf("cached-plan μProgram run allocated %.1f times, want 0", allocs)
+	}
+}
+
+func BenchmarkResolvedExecutePrepared(b *testing.B) {
+	r := newBatchRig(b)
+	jobs := []Job{
+		{Program: r.prog, Segments: []Segment{{Bank: 0, Sub: 0, Binding: r.bind}}},
+		{Program: r.prog, Segments: []Segment{{Bank: 1, Sub: 0, Binding: r.bind}}},
+	}
+	pb, err := r.unit.Prepare(jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.unit.ExecutePrepared(pb, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -198,13 +198,85 @@ func (u *Unit) ExecuteBatchCancel(jobs []Job, cancel <-chan struct{}) (BatchStat
 // (the static per-subarray model never sees the per-bank segment
 // multiplier). opNs is nil when the batch errors.
 func (u *Unit) ExecuteBatchProfile(jobs []Job, cancel <-chan struct{}) (BatchStats, []float64, error) {
-	if len(jobs) == 0 {
-		return BatchStats{}, nil, fmt.Errorf("ctrl: empty batch")
-	}
-	pl, err := u.plan(jobs)
+	pb, err := u.Prepare(jobs)
 	if err != nil {
 		return BatchStats{}, nil, err
 	}
+	return u.ExecutePrepared(pb, cancel)
+}
+
+// segStream pairs one prepared segment with its resolved command
+// stream, or with the resolution error to surface when its job issues.
+type segStream struct {
+	stream *uprog.ResolvedStream
+	err    error
+}
+
+// Prepared is a batch bound once for repeated execution: the validated
+// schedule (constraint graph and deterministic timing) plus one
+// resolved command stream per segment. ExecutePrepared runs it without
+// re-planning or re-resolving anything — the run-many half of the
+// bind-once/run-many pipeline, which a compiled graph caches alongside
+// its plan. A Prepared is immutable and safe for repeated (serial)
+// ExecutePrepared calls.
+type Prepared struct {
+	jobs    []Job
+	pl      *batchPlan
+	streams [][][]segStream // job → subarray group → segment; nil when interp
+	// interp records the unit's execution mode at Prepare time: an
+	// interpretive batch re-runs uprog.Run per segment instead of the
+	// resolved streams.
+	interp bool
+}
+
+// Jobs returns the number of jobs in the prepared batch.
+func (pb *Prepared) Jobs() int { return len(pb.jobs) }
+
+// Prepare validates and schedules a batch and resolves every segment's
+// command stream through the unit's cache. Structural errors (bad
+// coordinates, bad deps) fail here; a segment whose *binding* fails to
+// resolve is kept with its error attached and surfaces when its job
+// issues — exactly where the interpretive path reports it — so a
+// prepared batch preserves ExecuteBatch's fail-fast, prefix-consistent
+// semantics.
+func (u *Unit) Prepare(jobs []Job) (*Prepared, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("ctrl: empty batch")
+	}
+	pl, err := u.plan(jobs)
+	if err != nil {
+		return nil, err
+	}
+	pb := &Prepared{jobs: jobs, pl: pl, interp: u.interpretive()}
+	if pb.interp {
+		return pb, nil
+	}
+	pb.streams = make([][][]segStream, len(jobs))
+	for i := range jobs {
+		groups := pl.groups[i]
+		pb.streams[i] = make([][]segStream, len(groups))
+		for gi, group := range groups {
+			ss := make([]segStream, len(group))
+			for si, seg := range group {
+				st, err := u.resolvedStream(jobs[i].Program, seg.Binding)
+				if err != nil {
+					ss[si] = segStream{err: fmt.Errorf("ctrl: bank %d subarray %d: %w", seg.Bank, seg.Sub, err)}
+					continue
+				}
+				ss[si] = segStream{stream: st}
+			}
+			pb.streams[i][gi] = ss
+		}
+	}
+	return pb, nil
+}
+
+// ExecutePrepared runs a prepared batch. Semantics, stats, and errors
+// match ExecuteBatchProfile; the per-run work is only the dependency
+// dispatch and the resolved-stream loops — no validation, resolution,
+// or planning.
+func (u *Unit) ExecutePrepared(pb *Prepared, cancel <-chan struct{}) (BatchStats, []float64, error) {
+	jobs, pl := pb.jobs, pb.pl
 	n := len(jobs)
 	succs := make([][]int, n)
 	indeg := make([]int, n)
@@ -228,19 +300,28 @@ func (u *Unit) ExecuteBatchProfile(jobs []Job, cancel <-chan struct{}) (BatchSta
 	pool := u.pool()
 	issue := func(id int) {
 		p := jobs[id].Program
-		for _, group := range pl.groups[id] {
-			group := group
+		for gi, group := range pl.groups[id] {
+			gi, group := gi, group
 			pool.Run(func() {
 				// Only this worker touches this subarray right now (the
 				// constraint graph serializes same-subarray jobs), so its
 				// stats delta is race-free and attributable to this group.
 				sa := u.mod.Subarray(group[0].Bank, group[0].Sub)
 				before := sa.Stats
-				for _, seg := range group {
-					if err := uprog.Run(p, sa, seg.Binding); err != nil {
-						results <- groupResult{job: id, err: fmt.Errorf("ctrl: bank %d subarray %d: %w", seg.Bank, seg.Sub, err)}
+				for si, seg := range group {
+					if pb.interp {
+						if err := uprog.Run(p, sa, seg.Binding); err != nil {
+							results <- groupResult{job: id, err: fmt.Errorf("ctrl: bank %d subarray %d: %w", seg.Bank, seg.Sub, err)}
+							return
+						}
+						continue
+					}
+					ss := pb.streams[id][gi][si]
+					if ss.err != nil {
+						results <- groupResult{job: id, err: ss.err}
 						return
 					}
+					uprog.RunResolved(sa, ss.stream)
 				}
 				results <- groupResult{job: id, energyPJ: sa.Stats.Sub(before).EnergyPJ}
 			})

@@ -23,7 +23,7 @@ type batchRig struct {
 	bind uprog.Binding
 }
 
-func newBatchRig(t *testing.T) *batchRig {
+func newBatchRig(t testing.TB) *batchRig {
 	t.Helper()
 	cfg := dram.TestConfig()
 	mod, err := dram.NewModule(cfg)

@@ -145,6 +145,33 @@ func TestConfig() Config {
 // WordsPerRow returns the number of 64-bit words in one row.
 func (c Config) WordsPerRow() int { return c.Cols / 64 }
 
+// TRow returns the physical row index of designated compute row T[i].
+// The row map is a pure function of the geometry, so resolvers that
+// know only the Config (not a materialized Subarray) can use it too.
+func (c Config) TRow(i int) int {
+	if i < 0 || i >= c.NumTRows {
+		panic(fmt.Sprintf("dram: T row %d out of range [0,%d)", i, c.NumTRows))
+	}
+	return c.DataRows() + i
+}
+
+// DCCRow returns the physical row of dual-contact cell pair i's true row.
+func (c Config) DCCRow(i int) int {
+	if i < 0 || i >= c.NumDCCPairs {
+		panic(fmt.Sprintf("dram: DCC pair %d out of range [0,%d)", i, c.NumDCCPairs))
+	}
+	return c.DataRows() + c.NumTRows + 2*i
+}
+
+// DCCNRow returns the complement row of dual-contact cell pair i.
+func (c Config) DCCNRow(i int) int { return c.DCCRow(i) + 1 }
+
+// C0Row returns the all-zeros control row.
+func (c Config) C0Row() int { return c.RowsPerSubarray - 2 }
+
+// C1Row returns the all-ones control row.
+func (c Config) C1Row() int { return c.RowsPerSubarray - 1 }
+
 // ComputeRows returns the number of rows reserved for the compute region:
 // T rows, two rows per DCC pair, and the two control rows.
 func (c Config) ComputeRows() int { return c.NumTRows + 2*c.NumDCCPairs + 2 }

@@ -16,6 +16,12 @@ type Subarray struct {
 	cfg  *Config
 	rows [][]uint64
 
+	// scratch is the row buffer AAP and MajCopy stage their sense-amp
+	// value in — allocated once per subarray so the command hot loop
+	// performs no per-call allocation. Commands on one subarray are
+	// serial (the ctrl scheduler guarantees it), so one buffer suffices.
+	scratch []uint64
+
 	// open tracks the activated row for the timing state machine; -1 when
 	// the subarray is precharged.
 	open int
@@ -79,7 +85,7 @@ func NewSubarray(cfg *Config) *Subarray {
 	for i := range rows {
 		rows[i] = backing[i*words : (i+1)*words : (i+1)*words]
 	}
-	s := &Subarray{cfg: cfg, rows: rows, open: -1}
+	s := &Subarray{cfg: cfg, rows: rows, scratch: make([]uint64, words), open: -1}
 	for i := range s.rows[s.C1Row()] {
 		s.rows[s.C1Row()][i] = ^uint64(0)
 	}
@@ -87,30 +93,20 @@ func NewSubarray(cfg *Config) *Subarray {
 }
 
 // TRow returns the physical row index of designated compute row T[i].
-func (s *Subarray) TRow(i int) int {
-	if i < 0 || i >= s.cfg.NumTRows {
-		panic(fmt.Sprintf("dram: T row %d out of range [0,%d)", i, s.cfg.NumTRows))
-	}
-	return s.cfg.DataRows() + i
-}
+func (s *Subarray) TRow(i int) int { return s.cfg.TRow(i) }
 
 // DCCRow returns the physical row of dual-contact cell pair i's true row.
 // Writing this row also makes the complement readable via DCCNRow(i).
-func (s *Subarray) DCCRow(i int) int {
-	if i < 0 || i >= s.cfg.NumDCCPairs {
-		panic(fmt.Sprintf("dram: DCC pair %d out of range [0,%d)", i, s.cfg.NumDCCPairs))
-	}
-	return s.cfg.DataRows() + s.cfg.NumTRows + 2*i
-}
+func (s *Subarray) DCCRow(i int) int { return s.cfg.DCCRow(i) }
 
 // DCCNRow returns the complement row of dual-contact cell pair i.
-func (s *Subarray) DCCNRow(i int) int { return s.DCCRow(i) + 1 }
+func (s *Subarray) DCCNRow(i int) int { return s.cfg.DCCNRow(i) }
 
 // C0Row returns the all-zeros control row.
-func (s *Subarray) C0Row() int { return s.cfg.RowsPerSubarray - 2 }
+func (s *Subarray) C0Row() int { return s.cfg.C0Row() }
 
 // C1Row returns the all-ones control row.
-func (s *Subarray) C1Row() int { return s.cfg.RowsPerSubarray - 1 }
+func (s *Subarray) C1Row() int { return s.cfg.C1Row() }
 
 // isDCC reports whether row belongs to a DCC pair, returning the pair
 // index and whether it is the complement row.
@@ -131,13 +127,25 @@ func (s *Subarray) checkRow(row int) {
 
 // ReadRow returns a copy of the row contents via a normal host access.
 func (s *Subarray) ReadRow(row int) []uint64 {
+	out := make([]uint64, s.cfg.WordsPerRow())
+	s.ReadRowInto(row, out)
+	return out
+}
+
+// ReadRowInto is ReadRow into caller-provided storage — the
+// allocation-free variant bulk gather paths reuse one buffer with. dst
+// must hold exactly WordsPerRow words.
+func (s *Subarray) ReadRowInto(row int, dst []uint64) {
 	s.checkRow(row)
+	if len(dst) != s.cfg.WordsPerRow() {
+		panic(fmt.Sprintf("dram: ReadRowInto: want %d words, have %d", s.cfg.WordsPerRow(), len(dst)))
+	}
 	s.Stats.HostReads++
 	s.Stats.EnergyPJ += s.cfg.Energy.RdPJ
-	s.trace(Command{Kind: CmdHostRead, Src: row})
-	out := make([]uint64, len(s.rows[row]))
-	copy(out, s.rows[row])
-	return out
+	if s.OnCommand != nil {
+		s.trace(Command{Kind: CmdHostRead, Src: row})
+	}
+	copy(dst, s.rows[row])
 }
 
 // WriteRow overwrites the row contents via a normal host access. Writing
@@ -150,16 +158,25 @@ func (s *Subarray) WriteRow(row int, data []uint64) {
 	}
 	s.Stats.HostWrites++
 	s.Stats.EnergyPJ += s.cfg.Energy.WrPJ
-	s.trace(Command{Kind: CmdHostWrite, Src: row})
+	if s.OnCommand != nil {
+		s.trace(Command{Kind: CmdHostWrite, Src: row})
+	}
 	s.storeRow(row, data)
 }
 
-// Peek returns the row contents without modeling a command (test/debug).
+// Peek returns a copy of the row contents without modeling a command
+// (test/debug).
 func (s *Subarray) Peek(row int) []uint64 {
+	return append([]uint64(nil), s.PeekRow(row)...)
+}
+
+// PeekRow returns the row's backing storage without copying or
+// accounting — the copy-free variant of Peek. The slice aliases live
+// subarray state: treat it as read-only and do not hold it across
+// commands that may rewrite the row.
+func (s *Subarray) PeekRow(row int) []uint64 {
 	s.checkRow(row)
-	out := make([]uint64, len(s.rows[row]))
-	copy(out, s.rows[row])
-	return out
+	return s.rows[row]
 }
 
 // Poke sets row contents without modeling a command (test/debug). DCC
@@ -204,15 +221,15 @@ func (s *Subarray) AAP(src int, dsts ...int) {
 			}
 		}
 	}
-	// First activation latches src into the sense amplifiers; the second
-	// activation connects the destination cells, overwriting them with the
-	// latched value.
-	buf := s.rows[src]
-	tmp := make([]uint64, len(buf))
-	copy(tmp, buf)
+	// First activation latches src into the sense amplifiers (modeled by
+	// the pooled scratch buffer); the second activation connects the
+	// destination cells, overwriting them with the latched value. The
+	// snapshot matters: a destination that is the source's DCC partner
+	// must not feed back into later destinations of the same command.
+	copy(s.scratch, s.rows[src])
 	for _, d := range dsts {
 		s.checkRow(d)
-		s.storeRow(d, tmp)
+		s.storeRow(d, s.scratch)
 	}
 	s.open = -1
 	s.Stats.AAPs++
@@ -239,17 +256,30 @@ func (s *Subarray) AP(r0, r1, r2 int) {
 	if r0 == r1 || r0 == r2 || r1 == r2 {
 		panic("dram: AP rows must be distinct")
 	}
-	a, b, c := s.rows[r0], s.rows[r1], s.rows[r2]
-	for i := range a {
-		m := (a[i] & b[i]) | (a[i] & c[i]) | (b[i] & c[i])
-		a[i], b[i], c[i] = m, m, m
-	}
+	// The restored rows already hold the majority, so the kernel can use
+	// one of them as its output.
+	majRestoreInto(s.rows[r0], s.rows[r1], s.rows[r2], s.rows[r0])
 	s.open = -1
 	s.Stats.APs++
 	s.Stats.Activates++
 	s.Stats.Precharges++
 	s.Stats.EnergyPJ += s.cfg.Energy.APEnergy()
-	s.trace(Command{Kind: CmdAP, Src: -1, T: [3]int{r0, r1, r2}})
+	if s.OnCommand != nil {
+		s.trace(Command{Kind: CmdAP, Src: -1, T: [3]int{r0, r1, r2}})
+	}
+}
+
+// majRestoreInto models a triple-row activation's charge sharing: the
+// sense amplifiers resolve the bitwise majority of rows a, b, c and
+// restore it into all three, and the resolved value is also recorded in
+// out (the row-buffer content a fused copy reads). Passing one of the
+// input rows as out is allowed.
+func majRestoreInto(a, b, c, out []uint64) {
+	for i := range a {
+		m := (a[i] & b[i]) | (a[i] & c[i]) | (b[i] & c[i])
+		a[i], b[i], c[i] = m, m, m
+		out[i] = m
+	}
 }
 
 // MajCopy executes Ambit's fused compute-and-copy: ACTIVATE the TRA
@@ -270,16 +300,13 @@ func (s *Subarray) MajCopy(r0, r1, r2 int, dsts ...int) {
 	if len(dsts) == 0 || len(dsts) > 3 {
 		panic(fmt.Sprintf("dram: MajCopy needs 1-3 destination rows, have %d", len(dsts)))
 	}
-	a, b, c := s.rows[r0], s.rows[r1], s.rows[r2]
-	maj := make([]uint64, len(a))
-	for i := range a {
-		m := (a[i] & b[i]) | (a[i] & c[i]) | (b[i] & c[i])
-		a[i], b[i], c[i] = m, m, m
-		maj[i] = m
-	}
+	// The scratch buffer holds the row-buffer value between the TRA and
+	// the destination activation: T rows are never DCC-paired, but the
+	// same snapshot discipline as AAP keeps the copy well-defined.
+	majRestoreInto(s.rows[r0], s.rows[r1], s.rows[r2], s.scratch)
 	for _, d := range dsts {
 		s.checkRow(d)
-		s.storeRow(d, maj)
+		s.storeRow(d, s.scratch)
 	}
 	s.open = -1
 	s.Stats.MajCopies++

@@ -1,0 +1,7 @@
+// Package raceflag reports whether the race detector instruments this
+// build. Allocation-gate tests consult it: the detector adds heap
+// allocations of its own, so testing.AllocsPerRun assertions that must
+// be exactly zero are skipped under -race (the functional content of
+// those tests is covered by the differential suites, which do run under
+// -race).
+package raceflag

@@ -16,8 +16,10 @@ type Binding struct {
 	ScratchBase int
 }
 
-// Resolve maps a symbolic reference to a physical row index.
-func (b Binding) Resolve(r Ref, sa *dram.Subarray) (int, error) {
+// Resolve maps a symbolic reference to a physical row index. Compute
+// rows are a pure function of the geometry, so resolution needs only
+// the configuration, not a materialized subarray.
+func (b Binding) Resolve(r Ref, cfg dram.Config) (int, error) {
 	switch r.Space {
 	case SpaceSrc:
 		if r.Op >= len(b.SrcBase) {
@@ -29,38 +31,66 @@ func (b Binding) Resolve(r Ref, sa *dram.Subarray) (int, error) {
 	case SpaceScratch:
 		return b.ScratchBase + r.Idx, nil
 	case SpaceT:
-		return sa.TRow(r.Idx), nil
+		return cfg.TRow(r.Idx), nil
 	case SpaceDCC:
-		return sa.DCCRow(r.Idx), nil
+		return cfg.DCCRow(r.Idx), nil
 	case SpaceDCCN:
-		return sa.DCCNRow(r.Idx), nil
+		return cfg.DCCNRow(r.Idx), nil
 	case SpaceC0:
-		return sa.C0Row(), nil
+		return cfg.C0Row(), nil
 	case SpaceC1:
-		return sa.C1Row(), nil
+		return cfg.C1Row(), nil
 	default:
 		return 0, fmt.Errorf("uprog: unknown space %v", r.Space)
+	}
+}
+
+// regionKind classifies a binding region for the overlap check: source
+// regions may alias each other (the same operand bound twice), anything
+// else aliasing anything is an error.
+type regionKind uint8
+
+const (
+	regionSrc regionKind = iota
+	regionDst
+	regionScratch
+)
+
+// bindRegion is one contiguous row range a binding claims.
+type bindRegion struct {
+	kind        regionKind
+	op          int // operand index for regionSrc
+	start, size int
+}
+
+func (r bindRegion) name() string {
+	switch r.kind {
+	case regionSrc:
+		return fmt.Sprintf("src%d", r.op)
+	case regionDst:
+		return "dst"
+	default:
+		return "scratch"
 	}
 }
 
 // Validate checks that the binding's regions fit in the subarray's data
 // rows and do not overlap.
 func (b Binding) Validate(p *Program, cfg dram.Config) error {
-	type region struct {
-		name        string
-		start, size int
+	if len(b.SrcBase) < p.NumSrc {
+		return fmt.Errorf("uprog: binding supplies %d operand bases, program needs %d", len(b.SrcBase), p.NumSrc)
 	}
-	var regions []region
+	var regions []bindRegion
 	for k, base := range b.SrcBase {
-		regions = append(regions, region{fmt.Sprintf("src%d", k), base, p.SrcWidth(k)})
+		regions = append(regions, bindRegion{kind: regionSrc, op: k, start: base, size: p.SrcWidth(k)})
 	}
-	regions = append(regions, region{"dst", b.DstBase, p.DstWidth})
+	regions = append(regions, bindRegion{kind: regionDst, start: b.DstBase, size: p.DstWidth})
 	if p.NumScratch > 0 {
-		regions = append(regions, region{"scratch", b.ScratchBase, p.NumScratch})
+		regions = append(regions, bindRegion{kind: regionScratch, start: b.ScratchBase, size: p.NumScratch})
 	}
 	for _, r := range regions {
 		if r.start < 0 || r.start+r.size > cfg.DataRows() {
-			return fmt.Errorf("uprog: region %s [%d,%d) outside data rows [0,%d)", r.name, r.start, r.start+r.size, cfg.DataRows())
+			return fmt.Errorf("uprog: region %s [%d,%d) outside data rows [0,%d)", r.name(), r.start, r.start+r.size, cfg.DataRows())
 		}
 	}
 	for i := range regions {
@@ -69,9 +99,8 @@ func (b Binding) Validate(p *Program, cfg dram.Config) error {
 			if a.start < c.start+c.size && c.start < a.start+a.size {
 				// Sources may alias each other (same operand twice) but
 				// nothing may alias the destination or scratch.
-				bothSrc := a.name[0] == 's' && c.name[0] == 's' && a.name != "scratch" && c.name != "scratch"
-				if !bothSrc {
-					return fmt.Errorf("uprog: regions %s and %s overlap", a.name, c.name)
+				if a.kind != regionSrc || c.kind != regionSrc {
+					return fmt.Errorf("uprog: regions %s and %s overlap", a.name(), c.name())
 				}
 			}
 		}
@@ -90,19 +119,20 @@ func (b Binding) Validate(p *Program, cfg dram.Config) error {
 // is read-only. Two concurrent Runs on the same subarray race — the
 // ctrl scheduler serializes those.
 func Run(p *Program, sa *dram.Subarray, b Binding) error {
-	if err := b.Validate(p, *sa.Config()); err != nil {
+	cfg := *sa.Config()
+	if err := b.Validate(p, cfg); err != nil {
 		return err
 	}
 	for i, op := range p.Ops {
 		switch op.Kind {
 		case OpAAP:
-			src, err := b.Resolve(op.Src, sa)
+			src, err := b.Resolve(op.Src, cfg)
 			if err != nil {
 				return fmt.Errorf("uprog: op %d: %w", i, err)
 			}
 			dsts := make([]int, len(op.Dsts))
 			for j, d := range op.Dsts {
-				if dsts[j], err = b.Resolve(d, sa); err != nil {
+				if dsts[j], err = b.Resolve(d, cfg); err != nil {
 					return fmt.Errorf("uprog: op %d: %w", i, err)
 				}
 			}
@@ -113,7 +143,7 @@ func Run(p *Program, sa *dram.Subarray, b Binding) error {
 			dsts := make([]int, len(op.Dsts))
 			var err error
 			for j, d := range op.Dsts {
-				if dsts[j], err = b.Resolve(d, sa); err != nil {
+				if dsts[j], err = b.Resolve(d, cfg); err != nil {
 					return fmt.Errorf("uprog: op %d: %w", i, err)
 				}
 			}

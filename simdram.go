@@ -182,6 +182,14 @@ func (s *System) Close() { s.cu.Close() }
 // injection).
 func (s *System) Module() *dram.Module { return s.mod }
 
+// SetInterpretive switches μProgram execution between cached resolved
+// command streams (the default bind-once/run-many hot path) and the
+// per-run interpretive resolver. The two are bit- and trace-identical;
+// the knob exists for differential testing and for measuring the
+// host-side speedup. Do not toggle while operations are executing;
+// programs prepared before the switch keep their mode.
+func (s *System) SetInterpretive(on bool) { s.cu.SetInterpretive(on) }
+
 // TranspositionUnit exposes the transposition unit's statistics.
 func (s *System) TranspositionUnit() *vertical.Unit { return s.tu }
 

@@ -202,11 +202,19 @@ func (v *Vector) Load() ([]uint64, error) {
 		return nil, errorf("load from freed vector")
 	}
 	out := make([]uint64, 0, v.n)
+	// One backing buffer serves every segment's vertical gather: the
+	// transposition unit consumes each chunk before the next segment
+	// overwrites it.
+	words := v.sys.cfg.DRAM.WordsPerRow()
+	rows := make([][]uint64, v.width)
+	backing := make([]uint64, v.width*words)
+	for r := range rows {
+		rows[r] = backing[r*words : (r+1)*words]
+	}
 	for _, seg := range v.segs {
 		sa := v.sys.mod.Subarray(seg.bank, seg.sub)
-		rows := make([][]uint64, v.width)
 		for r := 0; r < v.width; r++ {
-			rows[r] = sa.ReadRow(seg.baseRow + r)
+			sa.ReadRowInto(seg.baseRow+r, rows[r])
 		}
 		vals, err := v.sys.tu.VToH(uint64(v.handle), rows, v.width, seg.lanes)
 		if err != nil {
