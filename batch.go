@@ -3,6 +3,7 @@ package simdram
 import (
 	"simdram/internal/ctrl"
 	"simdram/internal/isa"
+	"simdram/internal/obs"
 )
 
 // BatchStats describes the cost of an ExecBatch call. It mirrors
@@ -127,6 +128,14 @@ type scratchNeed struct {
 // prepareProgram validates and resolves a bbop program down to a
 // control-unit prepared batch — the bind-once half of execution.
 func (s *System) prepareProgram(prog isa.Program) (*preparedProgram, error) {
+	return s.prepareProgramTraced(prog, nil, 0)
+}
+
+// prepareProgramTraced is prepareProgram with the serving layer's
+// per-job trace threaded through: the control unit's command-stream
+// resolution (the bind-once cost a cache hit amortizes) is accounted to
+// a "resolve" span under parent. tr may be nil.
+func (s *System) prepareProgramTraced(prog isa.Program, tr *obs.Trace, parent int) (*preparedProgram, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -186,7 +195,9 @@ func (s *System) prepareProgram(prog isa.Program) (*preparedProgram, error) {
 	if len(jobs) == 0 {
 		return pp, nil // program of only trsp_init instructions
 	}
+	rspan := tr.Begin("resolve", parent)
 	prep, err := s.cu.Prepare(jobs)
+	tr.End(rspan)
 	if err != nil {
 		return nil, err
 	}

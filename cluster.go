@@ -1,10 +1,13 @@
 package simdram
 
 import (
+	"strconv"
+
 	"simdram/internal/cluster"
 	"simdram/internal/ctrl"
 	"simdram/internal/graph"
 	"simdram/internal/isa"
+	"simdram/internal/obs"
 	"simdram/internal/ops"
 )
 
@@ -66,6 +69,15 @@ type Cluster struct {
 	// profile-guided recompiles (see ProfileStats).
 	plans    *graph.PlanCache
 	profiles *graph.ProfileStore
+
+	// metrics holds the cluster's dispatch observability: a batch
+	// counter and one modeled-latency histogram per channel
+	// (cluster.dispatch_ns{channel=N}), so per-channel skew shows up as
+	// diverging distributions, not just the point-in-time utilization
+	// vector. Exposed via Metrics().
+	metrics  *obs.Registry
+	batches  *obs.Counter
+	dispatch []*obs.Histogram
 }
 
 // NewCluster builds a cluster of cfg.Channels independent channels.
@@ -87,6 +99,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		objects:  make(map[uint16]*ShardedVector),
 		plans:    graph.NewPlanCache(DefaultPlanCacheSize),
 		profiles: graph.NewProfileStore(DefaultProfileThreshold, DefaultProfileMinJobs, defaultProfileShapes),
+		metrics:  obs.NewRegistry(),
+	}
+	c.batches = c.metrics.Counter("cluster.batches")
+	for ch := 0; ch < cfg.Channels; ch++ {
+		c.dispatch = append(c.dispatch,
+			c.metrics.Histogram(obs.TenantSeries("cluster.dispatch_ns", "channel", strconv.Itoa(ch))))
 	}
 	for i := 0; i < cfg.Channels; i++ {
 		sys, err := New(cfg.Channel)
@@ -471,6 +489,12 @@ func (c *Cluster) runSharded(nInstr int, ran []int, run func(ch int, cancel <-ch
 	})
 	if err != nil {
 		return ClusterBatchStats{}, nil, err
+	}
+	// Per-channel dispatch distributions: each participating channel's
+	// modeled critical path for this batch.
+	c.batches.Inc()
+	for _, ch := range ran {
+		c.dispatch[ch].Observe(int64(perCh[ch].CriticalPathNs))
 	}
 	m := cluster.Merge(perCh)
 	// Per-op attribution: the instruction's latency is its slowest

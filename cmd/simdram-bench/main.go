@@ -32,6 +32,7 @@ func main() {
 	jobs := flag.Int("jobs", 32, "jobs per tenant for -serve")
 	inflight := flag.Int("inflight", 4, "in-flight jobs per tenant for -serve")
 	channels := flag.Int("channels", 4, "cluster channels for -serve")
+	traceJobs := flag.Int("trace-jobs", 0, "print the span trees of the last N traced jobs after -serve")
 	jsonPath := flag.String("json", "", "write machine-readable demo metrics to this file (for scripts/perfcheck)")
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 		}
 	}
 	if *serve {
-		runDemo(func() error { return runServeDemo(*tenants, *jobs, *inflight, *channels, m) })
+		runDemo(func() error { return runServeDemo(*tenants, *jobs, *inflight, *channels, *traceJobs, m) })
 		return
 	}
 	if *graphMode {

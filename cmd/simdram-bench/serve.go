@@ -17,11 +17,18 @@ import (
 // small set of kernel request shapes (brightness, BitWeaving scan,
 // TPC-H Q6) with a fresh random payload. Every result is verified
 // against its pure-Go reference, so the demo is also a differential
-// test of the cached-plan path under real concurrency. It reports
-// jobs/sec, p50/p99 latency, plan-cache hit rate, and per-tenant
-// utilization, and fails if the hit rate on repeated shapes falls
-// below 90% — the serving subsystem's regression guard.
-func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
+// test of the cached-plan path under real concurrency.
+//
+// The demo runs with full trace sampling and a flight-recorder ring
+// deep enough to retain every steady-state job, then audits the
+// observability contract: every job has a span tree, every span tree
+// has exactly the steady-state span count (all-cache-hit jobs have a
+// fixed structure), and each tree's top-level span durations sum to
+// the job's reported latency split within tolerance. Latency
+// percentiles come from the server's log-scale registry histograms —
+// the same numbers an operator reads off the debug endpoint — not
+// from a demo-side sort of collected samples.
+func runServeDemo(tenants, jobs, inflight, channels, traceJobs int, m metrics) error {
 	if tenants < 1 || jobs < 1 || inflight < 1 || channels < 1 {
 		return fmt.Errorf("-serve needs positive -tenants/-jobs/-inflight/-channels")
 	}
@@ -37,6 +44,10 @@ func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
 	// profile-guided recompile path the demo exercises.
 	cfg.Channel.DRAM.Cols = 256
 	cfg.QueueDepth = tenants*inflight + channels
+	// Trace every job, and retain every steady-state trace: the audit
+	// below walks all of them.
+	cfg.TraceSampling = 1.0
+	cfg.TraceDepth = tenants*jobs + 16
 	srv, err := simdram.NewServer(cfg)
 	if err != nil {
 		return err
@@ -64,12 +75,22 @@ func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
 	if got, want := srv.Stats().Profile.Recompiles, uint64(len(shapes)); got != want {
 		return fmt.Errorf("warmup did not converge: %d profile-guided recompiles, want %d (one per shape)", got, want)
 	}
+	// Drop warmup traces (cold compiles and recompiles carry an extra
+	// "schedule" span): the measurement window retains only
+	// steady-state span trees, whose structure is deterministic.
+	srv.ResetTraces()
 
+	// jobLat records one steady job's reported latency split, keyed by
+	// its trace for the span-sum audit.
+	type jobLat struct {
+		traceID        uint64
+		queueNs, runNs int64
+	}
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		hits      int
-		profiled  int
+		mu       sync.Mutex
+		lats     []jobLat
+		hits     int
+		profiled int
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -97,7 +118,6 @@ func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
 					for i := 0; i < share; i++ {
 						shape := shapes[(i+k)%len(shapes)]
 						req := shape.New(rng)
-						jobStart := time.Now()
 						res, err := req.Submit(context.Background(), srv, tenant)
 						if err == nil {
 							err = req.Verify(res)
@@ -106,9 +126,8 @@ func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
 							terrs[k] = fmt.Errorf("%s job %d (%s): %w", tenant, i, shape.Name, err)
 							return
 						}
-						lat := time.Since(jobStart)
 						mu.Lock()
-						latencies = append(latencies, lat)
+						lats = append(lats, jobLat{traceID: res.TraceID, queueNs: res.QueueNs, runNs: res.RunNs})
 						if res.Compile.CacheHit {
 							hits++
 						}
@@ -137,31 +156,88 @@ func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
 	}
 
 	st := srv.Stats()
-	total := len(latencies)
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration {
-		if total == 0 {
-			return 0
-		}
-		i := int(p * float64(total-1))
-		return latencies[i]
-	}
+	total := len(lats)
 	jobsPerSec := float64(total) / wall.Seconds()
 	hitRate := float64(hits) / float64(total)
+
+	// Latency quantiles from the registry histograms (sched.* series:
+	// per-job queue wait, run time, and end-to-end). These include the
+	// serial warmup jobs — the same shapes on the same channels — so
+	// they are the honest whole-run distributions an operator would see.
+	hist := map[string]metricPoint{}
+	for _, p := range srv.Metrics() {
+		hist[p.Name] = metricPoint{p50: p.P50, p99: p.P99, p999: p.P999, count: p.Value}
+	}
+	jobH, queueH := hist["sched.job_ns"], hist["sched.queue_ns"]
+	if jobH.count == 0 || queueH.count == 0 {
+		return fmt.Errorf("serving demo: sched.job_ns/sched.queue_ns histograms are empty")
+	}
+
+	// Observability audit 1: the recorder retained one span tree per
+	// steady-state job, and every tree has the deterministic
+	// steady-state span count (job, queue, compile, cache-lookup,
+	// lower, prepare, resolve, execute, run, gather = 10 — cold
+	// compiles and recompiles, which add "schedule", all happened
+	// before ResetTraces).
+	traces := srv.Traces()
+	if len(traces) != total {
+		return fmt.Errorf("serving demo: flight recorder retained %d traces for %d steady-state jobs", len(traces), total)
+	}
+	byID := make(map[uint64]simdram.JobTrace, len(traces))
+	totalSpans := 0
+	for _, jt := range traces {
+		byID[jt.ID] = jt
+		totalSpans += len(jt.Spans)
+	}
+	spansPerJob := float64(totalSpans) / float64(len(traces))
+	if spansPerJob != 10 {
+		return fmt.Errorf("serving demo: %.2f spans per steady-state job, want exactly 10 (all jobs are cache hits)", spansPerJob)
+	}
+
+	// Observability audit 2: for every job, the top-level span
+	// durations must sum to the job's reported latency split
+	// (QueueNs + RunNs) within tolerance — the trace and the ticket
+	// measure the same pipeline on different clocks.
+	for _, jl := range lats {
+		jt, ok := byID[jl.traceID]
+		if !ok {
+			return fmt.Errorf("serving demo: job's trace %d not in the recorder", jl.traceID)
+		}
+		var sum int64
+		for _, sp := range jt.Spans {
+			if sp.Parent == 0 {
+				sum += sp.DurNs()
+			}
+		}
+		totalNs := jl.queueNs + jl.runNs
+		slack := totalNs / 4
+		if slack < 500_000 {
+			slack = 500_000 // host-scheduling noise floor on short jobs
+		}
+		if diff := sum - totalNs; diff > slack || diff < -slack {
+			return fmt.Errorf("serving demo: trace %d span sum %dns vs job latency %dns (slack %dns)",
+				jl.traceID, sum, totalNs, slack)
+		}
+	}
+	if queueH.p99 <= 0 {
+		return fmt.Errorf("serving demo: p99 queue wait is zero — queue histogram not populated")
+	}
 
 	fmt.Printf("serving demo: %d tenants × %d jobs (%d in flight each) over %d channels, %d shapes × %d elements\n",
 		tenants, jobs, inflight, channels, len(shapes), elems)
 	fmt.Printf("  throughput:         %8.0f jobs/s  (%d jobs in %v, all verified against references)\n",
 		jobsPerSec, total, wall.Round(time.Millisecond))
-	fmt.Printf("  latency:            p50 %8.2f ms, p99 %8.2f ms\n",
-		float64(pct(0.50).Microseconds())/1e3, float64(pct(0.99).Microseconds())/1e3)
+	fmt.Printf("  latency (histogram): p50 %8.2f ms, p99 %8.2f ms, p999 %8.2f ms; queue p99 %.2f ms\n",
+		float64(jobH.p50)/1e6, float64(jobH.p99)/1e6, float64(jobH.p999)/1e6, float64(queueH.p99)/1e6)
+	fmt.Printf("  tracing:            %d span trees retained (%.0f spans/job, every steady-state job audited against its latency split)\n",
+		len(traces), spansPerJob)
 	fmt.Printf("  plan cache:         %.1f%% hit rate in steady state (%d hits / %d jobs; %d plans cached, %s eviction: %d evicted, %d hot)\n",
 		100*hitRate, hits, total, st.Cache.Size, st.Cache.Policy, st.Cache.Evicted, st.Cache.EvictedHot)
 	fmt.Printf("  profile feedback:   %d shapes recompiled from measured profiles (%d jobs folded in); %d/%d steady-state jobs ran profiled plans\n",
 		st.Profile.Recompiles, st.Profile.Jobs, profiled, total)
 	fmt.Printf("  admission:          %d submitted, %d completed, %d rejected, %d canceled\n",
 		st.Submitted, st.Completed, st.Rejected, st.Canceled)
-	fmt.Printf("  per-tenant utilization: ")
+	fmt.Printf("  per-tenant p99 run: ")
 	names := make([]string, 0, len(st.Tenants))
 	for name := range st.Tenants {
 		names = append(names, name)
@@ -175,15 +251,21 @@ func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
 		if shown > 0 {
 			fmt.Printf(", ")
 		}
-		fmt.Printf("%s %.2f", name, st.Tenants[name].Utilization)
+		ts := st.Tenants[name]
+		fmt.Printf("%s %.2fms (util %.2f)", name, float64(ts.RunP99Ns)/1e6, ts.Utilization)
 		shown++
 	}
 	fmt.Println()
+	printTraces(srv, traceJobs)
 
 	m["serve.jobs"] = float64(total)
 	m["serve.jobs_per_sec"] = jobsPerSec
-	m["serve.p50_ms"] = float64(pct(0.50).Microseconds()) / 1e3
-	m["serve.p99_ms"] = float64(pct(0.99).Microseconds()) / 1e3
+	m["serve.p50_ms"] = float64(jobH.p50) / 1e6
+	m["serve.p99_ms"] = float64(jobH.p99) / 1e6
+	m["serve.p999_ms"] = float64(jobH.p999) / 1e6
+	m["serve.p99_queue_ns"] = float64(queueH.p99)
+	m["serve.trace_ring_depth"] = float64(len(traces))
+	m["serve.spans_per_job"] = spansPerJob
 	m["serve.cache_hit_rate"] = hitRate
 	m["serve.plans_cached"] = float64(st.Cache.Size)
 	m["serve.evicted"] = float64(st.Cache.Evicted)
@@ -203,4 +285,55 @@ func runServeDemo(tenants, jobs, inflight, channels int, m metrics) error {
 		return fmt.Errorf("serving demo regressed: %d of %d steady-state jobs ran profiled plans, want all (profile-guided recompile converged during warmup)", profiled, total)
 	}
 	return nil
+}
+
+// metricPoint is the slice of a registry histogram the demo reads.
+type metricPoint struct {
+	p50, p99, p999 int64
+	count          float64
+}
+
+// printTraces renders up to n of the flight recorder's span trees as
+// indented trees with durations — the -trace-jobs output.
+func printTraces(srv *simdram.Server, n int) {
+	if n <= 0 {
+		return
+	}
+	traces := srv.Traces()
+	if n > len(traces) {
+		n = len(traces)
+	}
+	fmt.Printf("  span trees (last %d of %d traced jobs):\n", n, len(traces))
+	for _, jt := range traces[len(traces)-n:] {
+		printTrace(jt)
+	}
+}
+
+func printTrace(jt simdram.JobTrace) {
+	// Children in creation order, which is also execution order.
+	children := make([][]int, len(jt.Spans))
+	for i, sp := range jt.Spans {
+		if i == 0 {
+			continue
+		}
+		children[sp.Parent] = append(children[sp.Parent], i)
+	}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		sp := jt.Spans[i]
+		ch := ""
+		if sp.Channel >= 0 {
+			ch = fmt.Sprintf(" [channel %d]", sp.Channel)
+		}
+		fmt.Printf("    %*s%-12s %10.1fµs%s\n", 2*depth, "", sp.Name, float64(sp.DurNs())/1e3, ch)
+		for _, c := range children[i] {
+			walk(c, depth+1)
+		}
+	}
+	status := "ok"
+	if jt.Err != "" {
+		status = "error: " + jt.Err
+	}
+	fmt.Printf("    trace %d (%s)\n", jt.ID, status)
+	walk(0, 1)
 }

@@ -5,6 +5,7 @@ import (
 
 	"simdram/internal/graph"
 	"simdram/internal/isa"
+	"simdram/internal/obs"
 	"simdram/internal/ops"
 )
 
@@ -366,7 +367,11 @@ func optsKey(opts CompileOptions) string {
 // exactly one caller per diverged shape performs the recompile.
 // Profile feedback only reprices the schedule, so it is disabled when
 // opts.NoSchedule pins construction order.
-func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr, cache *graph.PlanCache, profiles *graph.ProfileStore) (*compileEnv, *graph.Plan, CompileStats, error) {
+//
+// tr, when non-nil, receives "cache-lookup" and (on a cold compile or
+// recompile) "schedule" spans under parent — the serving layer's
+// per-job trace. Pass a nil trace (and any parent) when not tracing.
+func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr, cache *graph.PlanCache, profiles *graph.ProfileStore, tr *obs.Trace, parent int) (*compileEnv, *graph.Plan, CompileStats, error) {
 	var stats CompileStats
 	if len(exprs) == 0 {
 		return nil, nil, stats, errorf("graph: nothing to materialize")
@@ -399,7 +404,10 @@ func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr, cac
 	}
 	model := modelCost(planCfg(sys, cl))
 	var plan *graph.Plan
+	look := tr.Begin("cache-lookup", parent)
 	if profiles.TakeRecompile(key) {
+		tr.End(look)
+		sspan := tr.Begin("schedule", parent)
 		start := time.Now()
 		observed := profiles.ScheduleCost(key, model)
 		plan = buildPlan(env.g, opts, observed)
@@ -418,9 +426,19 @@ func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr, cac
 		plan.Profiled = true
 		cache.Replace(key, plan, float64(time.Since(start).Nanoseconds()))
 		stats.Recompiled = true
+		tr.End(sspan)
 	} else {
 		var hit bool
-		plan, hit = cache.Do(key, func() *graph.Plan { return buildPlan(env.g, opts, model) })
+		plan, hit = cache.Do(key, func() *graph.Plan {
+			// This caller lost the lookup and is the one compiling: close
+			// the lookup span here so it measures the decision, not the
+			// build, and account the build to "schedule".
+			tr.End(look)
+			sspan := tr.Begin("schedule", parent)
+			defer tr.End(sspan)
+			return buildPlan(env.g, opts, model)
+		})
+		tr.End(look)
 		if hit {
 			env.g = plan.Graph
 			stats.CacheHit = true
@@ -791,7 +809,7 @@ func (s *System) Compile(exprs ...*Expr) (*Compiled, error) {
 // primarily for differential testing and baseline measurement; regular
 // callers want Compile or Materialize.
 func (s *System) CompileWith(opts CompileOptions, exprs ...*Expr) (*Compiled, error) {
-	env, plan, stats, err := planExprs(s, nil, opts, exprs, s.plans, s.profiles)
+	env, plan, stats, err := planExprs(s, nil, opts, exprs, s.plans, s.profiles, nil, 0)
 	if err != nil {
 		return nil, err
 	}

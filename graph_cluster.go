@@ -39,7 +39,7 @@ func (c *Cluster) Compile(exprs ...*Expr) (*ClusterCompiled, error) {
 // CompileWith is Compile with selected passes disabled — primarily for
 // differential testing and baseline measurement.
 func (c *Cluster) CompileWith(opts CompileOptions, exprs ...*Expr) (*ClusterCompiled, error) {
-	env, plan, stats, err := planExprs(nil, c, opts, exprs, c.plans, c.profiles)
+	env, plan, stats, err := planExprs(nil, c, opts, exprs, c.plans, c.profiles, nil, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -77,6 +77,26 @@ func (s *Subarray) trace(c Command) {
 	}
 }
 
+// AddCommandHook subscribes fn to the subarray's command stream without
+// displacing an existing OnCommand hook: if one is already installed,
+// the two are composed and both observe every command, in installation
+// order. This is how independent observers (the command-trace log, obs
+// counters, RowHammer monitors) coexist on one subarray. A nil fn is
+// ignored. Not safe to call concurrently with command execution.
+func (s *Subarray) AddCommandHook(fn func(Command)) {
+	if fn == nil {
+		return
+	}
+	if prev := s.OnCommand; prev != nil {
+		s.OnCommand = func(c Command) {
+			prev(c)
+			fn(c)
+		}
+		return
+	}
+	s.OnCommand = fn
+}
+
 // NewSubarray allocates a subarray per cfg, with control rows initialized.
 func NewSubarray(cfg *Config) *Subarray {
 	words := cfg.WordsPerRow()

@@ -106,6 +106,13 @@ type PlanCache struct {
 	evicted    uint64
 	evictedHot uint64
 	coalesced  uint64
+
+	// onEvict, when set, observes every eviction (the victim's key and
+	// how many hits it had served). Called with the cache lock held, so
+	// the hook must be fast and must not call back into the cache —
+	// it exists to feed lightweight observers (flight-recorder events,
+	// eviction counters).
+	onEvict func(key string, hits uint64)
 }
 
 // NewPlanCache returns a cache bounded to capacity plans. A capacity
@@ -265,6 +272,19 @@ func (c *PlanCache) evictLocked() {
 	if victim.hits > 0 {
 		c.evictedHot++
 	}
+	if c.onEvict != nil {
+		c.onEvict(victimKey, victim.hits)
+	}
+}
+
+// SetEvictHook installs fn as the cache's eviction observer (see
+// onEvict for the constraints; nil clears it). Not safe to race with
+// cache traffic — install it right after NewPlanCache.
+func (c *PlanCache) SetEvictHook(fn func(key string, hits uint64)) {
+	if c.disabled() {
+		return
+	}
+	c.onEvict = fn
 }
 
 // Stats returns a snapshot of the cache counters. Disabled caches

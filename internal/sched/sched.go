@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"simdram/internal/obs"
 )
 
 // Scheduler errors. ErrQueueFull and ErrTenantQuota are admission
@@ -62,6 +64,12 @@ type Config struct {
 	// no per-tenant bound. Submissions beyond it fail with
 	// ErrTenantQuota.
 	TenantQuota int
+	// Metrics, when set, is the registry the scheduler publishes its
+	// counters, depth gauges, and latency histograms into (series named
+	// "sched.*"; per-tenant histograms as "sched.queue_ns{tenant=T}").
+	// When nil the scheduler keeps a private registry, so counters and
+	// quantiles always work.
+	Metrics *obs.Registry
 }
 
 // job is one submitted task moving through queued → running → done.
@@ -112,6 +120,13 @@ type tenantState struct {
 	submitted, completed, failed, rejected, canceled uint64
 	busyNs, waitNs                                   int64
 	modeledNs                                        float64
+
+	// queueHist/runHist are the tenant's latency distributions,
+	// registered as sched.queue_ns{tenant=T} / sched.run_ns{tenant=T}.
+	// Registry series outlive tenant-state eviction (bounded by the
+	// registry's own series cap), so a returning tenant reattaches to
+	// its history.
+	queueHist, runHist *obs.Histogram
 }
 
 // Scheduler dispatches tenant jobs onto a fixed worker pool. Safe for
@@ -129,7 +144,13 @@ type Scheduler struct {
 	closed  bool
 	wg      sync.WaitGroup
 
-	submitted, completed, failed, rejected, canceled uint64
+	// Global counters, gauges, and latency histograms live in the
+	// metrics registry (cfg.Metrics or a private one), so external
+	// observers and Stats() read the same numbers.
+	metrics                                          *obs.Registry
+	submitted, completed, failed, rejected, canceled *obs.Counter
+	gQueued, gRunning                                *obs.Gauge
+	queueHist, runHist, jobHist                      *obs.Histogram
 }
 
 // New starts a scheduler with cfg.Workers worker goroutines. Workers
@@ -142,6 +163,20 @@ func New(cfg Config) *Scheduler {
 		cfg.QueueDepth = 1
 	}
 	s := &Scheduler{cfg: cfg, tenants: map[string]*tenantState{}}
+	s.metrics = cfg.Metrics
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	s.submitted = s.metrics.Counter("sched.submitted")
+	s.completed = s.metrics.Counter("sched.completed")
+	s.failed = s.metrics.Counter("sched.failed")
+	s.rejected = s.metrics.Counter("sched.rejected")
+	s.canceled = s.metrics.Counter("sched.canceled")
+	s.gQueued = s.metrics.Gauge("sched.queued")
+	s.gRunning = s.metrics.Gauge("sched.running")
+	s.queueHist = s.metrics.Histogram("sched.queue_ns")
+	s.runHist = s.metrics.Histogram("sched.run_ns")
+	s.jobHist = s.metrics.Histogram("sched.job_ns")
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -168,19 +203,15 @@ func (s *Scheduler) Submit(ctx context.Context, tenant string, run Task) (*Ticke
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	ts := s.tenants[tenant]
-	if ts == nil {
-		ts = &tenantState{}
-		s.tenants[tenant] = ts
-	}
+	ts := s.tenantLocked(tenant)
 	if s.queued >= s.cfg.QueueDepth {
-		s.rejected++
+		s.rejected.Inc()
 		ts.rejected++
 		s.mu.Unlock()
 		return nil, ErrQueueFull
 	}
 	if s.cfg.TenantQuota > 0 && len(ts.queue)+ts.running >= s.cfg.TenantQuota {
-		s.rejected++
+		s.rejected.Inc()
 		ts.rejected++
 		s.mu.Unlock()
 		return nil, ErrTenantQuota
@@ -191,8 +222,9 @@ func (s *Scheduler) Submit(ctx context.Context, tenant string, run Task) (*Ticke
 	}
 	ts.queue = append(ts.queue, j)
 	ts.submitted++
-	s.submitted++
+	s.submitted.Inc()
 	s.queued++
+	s.gQueued.Set(int64(s.queued))
 	s.cond.Signal()
 	s.mu.Unlock()
 
@@ -223,6 +255,7 @@ func (s *Scheduler) cancelQueued(j *job) {
 		if q == j {
 			ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
 			s.queued--
+			s.gQueued.Set(int64(s.queued))
 			if len(ts.queue) == 0 {
 				s.dropActive(j.tenant)
 			}
@@ -264,6 +297,7 @@ func (s *Scheduler) pop() *job {
 	j := ts.queue[0]
 	ts.queue = ts.queue[1:]
 	s.queued--
+	s.gQueued.Set(int64(s.queued))
 	if len(ts.queue) == 0 {
 		s.dropActive(tenant)
 	} else {
@@ -284,12 +318,21 @@ func (s *Scheduler) Observe(tenant string, modeledNs float64) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.tenantLocked(tenant).modeledNs += modeledNs
+}
+
+// tenantLocked returns the tenant's state, creating it (with its
+// registry-backed latency histograms) on first sight. Caller holds mu.
+func (s *Scheduler) tenantLocked(tenant string) *tenantState {
 	ts := s.tenants[tenant]
 	if ts == nil {
-		ts = &tenantState{}
+		ts = &tenantState{
+			queueHist: s.metrics.Histogram(obs.TenantSeries("sched.queue_ns", "tenant", tenant)),
+			runHist:   s.metrics.Histogram(obs.TenantSeries("sched.run_ns", "tenant", tenant)),
+		}
 		s.tenants[tenant] = ts
 	}
-	ts.modeledNs += modeledNs
+	return ts
 }
 
 // tenantStateCap bounds how many per-tenant records the scheduler
@@ -310,20 +353,30 @@ func (s *Scheduler) finishLocked(j *job, err error, canceled bool) {
 	}
 	j.fin = true
 	j.err = err
-	ts := s.tenants[j.tenant]
+	ts := s.tenantLocked(j.tenant)
 	switch {
 	case canceled:
-		s.canceled++
+		s.canceled.Inc()
 		ts.canceled++
 	case err != nil:
-		s.failed++
+		s.failed.Inc()
 		ts.failed++
 	default:
-		s.completed++
+		s.completed.Inc()
 		ts.completed++
 	}
 	ts.busyNs += j.runNs
 	ts.waitNs += j.queueNs
+	// Latency distributions: every finished job contributes its queue
+	// wait; only jobs that actually ran contribute run and end-to-end
+	// times (a canceled-in-queue job has no run to speak of).
+	s.queueHist.Observe(j.queueNs)
+	ts.queueHist.Observe(j.queueNs)
+	if j.started {
+		s.runHist.Observe(j.runNs)
+		ts.runHist.Observe(j.runNs)
+		s.jobHist.Observe(j.queueNs + j.runNs)
+	}
 	close(j.done)
 	if len(s.tenants) > tenantStateCap {
 		for name, t := range s.tenants {
@@ -364,6 +417,7 @@ func (s *Scheduler) worker(w int) {
 		ts := s.tenants[j.tenant]
 		ts.running++
 		s.running++
+		s.gRunning.Set(int64(s.running))
 		s.mu.Unlock()
 
 		start := time.Now()
@@ -388,6 +442,7 @@ func (s *Scheduler) worker(w int) {
 		s.mu.Lock()
 		ts.running--
 		s.running--
+		s.gRunning.Set(int64(s.running))
 		s.finishLocked(j, err, false)
 	}
 }
@@ -438,6 +493,11 @@ type TenantStats struct {
 	// ModeledNs is the cumulative modeled execution cost reported via
 	// Observe — zero unless the execution layer feeds its stats back.
 	ModeledNs float64
+	// Queue/Run quantiles come from the tenant's log-scale latency
+	// histograms (relative error bounded at 1/8): honest tail latency
+	// per tenant, not a mean in disguise. Zero until a job finishes.
+	QueueP50Ns, QueueP99Ns, QueueP999Ns int64
+	RunP50Ns, RunP99Ns, RunP999Ns       int64
 }
 
 // Stats is a point-in-time snapshot of the scheduler.
@@ -455,21 +515,28 @@ func (s *Scheduler) Stats() Stats {
 	st := Stats{
 		Workers: s.cfg.Workers,
 		Queued:  s.queued, Running: s.running,
-		Submitted: s.submitted, Completed: s.completed, Failed: s.failed,
-		Rejected: s.rejected, Canceled: s.canceled,
+		Submitted: s.submitted.Value(), Completed: s.completed.Value(), Failed: s.failed.Value(),
+		Rejected: s.rejected.Value(), Canceled: s.canceled.Value(),
 		Tenants: make(map[string]TenantStats, len(s.tenants)),
 	}
 	for name, ts := range s.tenants {
+		qh, rh := ts.queueHist.Snapshot(), ts.runHist.Snapshot()
 		st.Tenants[name] = TenantStats{
 			Submitted: ts.submitted, Completed: ts.completed, Failed: ts.failed,
 			Rejected: ts.rejected, Canceled: ts.canceled,
 			Queued: len(ts.queue), Running: ts.running,
 			BusyNs: ts.busyNs, WaitNs: ts.waitNs,
-			ModeledNs: ts.modeledNs,
+			ModeledNs:  ts.modeledNs,
+			QueueP50Ns: qh.Quantile(0.50), QueueP99Ns: qh.Quantile(0.99), QueueP999Ns: qh.Quantile(0.999),
+			RunP50Ns: rh.Quantile(0.50), RunP99Ns: rh.Quantile(0.99), RunP999Ns: rh.Quantile(0.999),
 		}
 	}
 	return st
 }
+
+// Metrics returns the registry the scheduler publishes into (the one
+// from Config.Metrics, or the private fallback).
+func (s *Scheduler) Metrics() *obs.Registry { return s.metrics }
 
 // durationNs returns b−a in nanoseconds, clamped at zero — the
 // queue-era monotonic guard. Go's time.Time carries a monotonic

@@ -33,10 +33,12 @@ func NewLog(limit int) *Log {
 	return &Log{limit: limit}
 }
 
-// Attach subscribes the log to a subarray's command stream. It replaces
-// any previous OnCommand hook on that subarray.
+// Attach subscribes the log to a subarray's command stream. The log
+// composes with any hook already installed (via dram.AddCommandHook),
+// so command logging coexists with other observers — obs counters,
+// RowHammer monitors — on the same subarray.
 func (l *Log) Attach(sa *dram.Subarray, bank, sub int) {
-	sa.OnCommand = func(c dram.Command) {
+	sa.AddCommandHook(func(c dram.Command) {
 		l.mu.Lock()
 		defer l.mu.Unlock()
 		l.seq++
@@ -44,7 +46,7 @@ func (l *Log) Attach(sa *dram.Subarray, bank, sub int) {
 			return // keep counting, stop storing
 		}
 		l.events = append(l.events, Event{Seq: l.seq, Bank: bank, Sub: sub, Cmd: c})
-	}
+	})
 }
 
 // AttachModule subscribes the log to every subarray of a module.

@@ -89,3 +89,32 @@ func TestActivationHistogram(t *testing.T) {
 		}
 	}
 }
+
+func TestAttachComposesWithExistingHook(t *testing.T) {
+	cfg := dram.TestConfig()
+	sa := dram.NewSubarray(&cfg)
+
+	// An observer installed before the log (e.g. an obs counter).
+	var before int
+	sa.AddCommandHook(func(dram.Command) { before++ })
+
+	l := NewLog(0)
+	l.Attach(sa, 0, 0)
+
+	// And one installed after: all three must see every command.
+	var after int
+	sa.AddCommandHook(func(dram.Command) { after++ })
+
+	sa.AAP(0, 1)
+	sa.AP(sa.TRow(0), sa.TRow(1), sa.TRow(2))
+
+	if before != 2 {
+		t.Errorf("pre-existing hook saw %d commands, want 2", before)
+	}
+	if after != 2 {
+		t.Errorf("later hook saw %d commands, want 2", after)
+	}
+	if got := l.Total(); got != 2 {
+		t.Errorf("log recorded %d commands, want 2", got)
+	}
+}

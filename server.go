@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"simdram/internal/graph"
+	"simdram/internal/obs"
 	"simdram/internal/sched"
 )
 
@@ -50,6 +51,17 @@ type ServerConfig struct {
 	// profile before divergence can trigger a recompile. Defaults to
 	// DefaultProfileMinJobs.
 	ProfileMinJobs int
+	// TraceSampling is the fraction of submitted jobs that get a span
+	// trace (1.0 = every job, 0 = tracing disabled — the default, and
+	// strictly allocation-free on the job hot path; fractions become
+	// deterministic every-Nth sampling).
+	TraceSampling float64
+	// TraceDepth bounds how many completed job traces the flight
+	// recorder retains (the trace ring). Defaults to 64.
+	TraceDepth int
+	// EventDepth bounds how many error/eviction/recompile events the
+	// flight recorder retains. Defaults to 256.
+	EventDepth int
 }
 
 // DefaultServerConfig returns a server of n default-geometry channels
@@ -86,6 +98,14 @@ type Server struct {
 	sched    *sched.Scheduler
 	plans    *graph.PlanCache
 	profiles *graph.ProfileStore
+
+	// Observability: one registry for every layer's counters and
+	// latency histograms, a sampling-gated tracer handing span trees to
+	// the flight recorder, and the recorder's rings of recent traces
+	// and events. See docs/observability.md.
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	rec     *obs.FlightRecorder
 }
 
 // NewServer builds the channels and starts the scheduler's worker
@@ -110,16 +130,31 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.TraceDepth == 0 {
+		cfg.TraceDepth = 64
+	}
+	if cfg.EventDepth == 0 {
+		cfg.EventDepth = 256
+	}
 	s := &Server{
 		cfg:      cfg,
 		cl:       cl,
 		plans:    graph.NewPlanCache(cfg.PlanCacheSize),
 		profiles: graph.NewProfileStore(cfg.ProfileThreshold, cfg.ProfileMinJobs, 4*cfg.PlanCacheSize),
+		metrics:  obs.NewRegistry(),
 	}
+	s.rec = obs.NewFlightRecorder(cfg.TraceDepth, cfg.EventDepth)
+	s.tracer = obs.NewTracer(cfg.TraceSampling, s.rec)
+	evictions := s.metrics.Counter("server.plan_evictions")
+	s.plans.SetEvictHook(func(key string, hits uint64) {
+		evictions.Inc()
+		s.rec.Eventf("evict", "plan evicted after %d hits (key %.24q…)", hits, key)
+	})
 	s.sched = sched.New(sched.Config{
 		Workers:     cfg.Channels,
 		QueueDepth:  cfg.QueueDepth,
 		TenantQuota: cfg.TenantQuota,
+		Metrics:     s.metrics,
 	})
 	return s, nil
 }
@@ -150,6 +185,9 @@ type JobResult struct {
 	// QueueNs and RunNs are the job's wall-clock queue wait and
 	// execution time (monotonic, never negative).
 	QueueNs, RunNs int64
+	// TraceID identifies this job's span tree in Server.Traces() when
+	// the job was sampled for tracing; 0 when it was not.
+	TraceID uint64
 }
 
 // Future is the caller's handle on a submitted job.
@@ -201,13 +239,30 @@ func (s *Server) SubmitLazy(ctx context.Context, tenant string, exprs ...*Expr) 
 		}
 	}
 	res := &JobResult{}
+	// A sampled job carries a trace whose root "job" span opened here at
+	// admission; the queue span closes when a worker picks the job up,
+	// so its duration is the admission-to-dispatch wait (sched's QueueNs
+	// measured from the trace's own clock). A job canceled while still
+	// queued never reaches the worker, so its unfinished trace is
+	// dropped rather than recorded; the cancellation still lands in the
+	// event ring below.
+	tr := s.tracer.Start()
+	if tr != nil {
+		res.TraceID = tr.ID
+	}
+	qspan := tr.Begin("queue", 0)
 	t, err := s.sched.Submit(ctx, tenant, func(worker int, cancel <-chan struct{}) error {
-		err := s.runLazy(s.cl.Channel(worker), cancel, exprs, res)
+		tr.End(qspan)
+		err := s.runLazy(s.cl.Channel(worker), worker, cancel, exprs, res, tr)
 		if err == nil {
 			// Feed the executed batch's modeled DRAM time back into the
 			// scheduler's per-tenant accounting.
 			s.sched.Observe(tenant, res.Batch.CriticalPathNs)
+		} else {
+			tr.SetErr(err.Error())
+			s.rec.Eventf("error", "tenant %s: %v", tenant, err)
 		}
+		s.tracer.Finish(tr)
 		return err
 	})
 	if err != nil {
@@ -227,8 +282,22 @@ func (s *Server) Submit(ctx context.Context, tenant string, fn func(sys *System,
 		return nil, errorf("server: nil job")
 	}
 	res := &JobResult{}
+	tr := s.tracer.Start()
+	if tr != nil {
+		res.TraceID = tr.ID
+	}
+	qspan := tr.Begin("queue", 0)
 	t, err := s.sched.Submit(ctx, tenant, func(worker int, cancel <-chan struct{}) error {
-		return fn(s.cl.Channel(worker), cancel)
+		tr.End(qspan)
+		espan := tr.BeginOn("execute", 0, worker)
+		err := fn(s.cl.Channel(worker), cancel)
+		tr.End(espan)
+		if err != nil {
+			tr.SetErr(err.Error())
+			s.rec.Eventf("error", "tenant %s: %v", tenant, err)
+		}
+		s.tracer.Finish(tr)
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -263,18 +332,28 @@ func checkServable(e *Expr, seen map[*Expr]bool) error {
 // hit, cold compile, or profile-guided recompile), bind payloads,
 // execute with preemptive cancellation, fold the measured per-op
 // latencies into the shape's profile, load every root, release
-// everything.
-func (s *Server) runLazy(sys *System, cancel <-chan struct{}, exprs []*Expr, res *JobResult) error {
-	env, plan, cst, err := planExprs(sys, nil, CompileOptions{}, exprs, s.plans, s.profiles)
+// everything. tr (nil when the job is unsampled) receives the
+// pipeline's span tree: compile{cache-lookup[, schedule], lower} →
+// prepare{resolve} → execute[worker]{run} → gather.
+func (s *Server) runLazy(sys *System, worker int, cancel <-chan struct{}, exprs []*Expr, res *JobResult, tr *obs.Trace) error {
+	cspan := tr.Begin("compile", 0)
+	env, plan, cst, err := planExprs(sys, nil, CompileOptions{}, exprs, s.plans, s.profiles, tr, cspan)
 	if err != nil {
+		tr.End(cspan)
 		return err
 	}
 	res.Compile = cst
+	if cst.Recompiled {
+		s.rec.Eventf("recompile", "profile-guided recompile after %d jobs (key %.24q…)", cst.ProfileJobs, env.key)
+	}
+	lspan := tr.Begin("lower", cspan)
 	lw, err := lowerPlan(env, plan, exprs,
 		func(width int) (graphObj, error) { return sys.allocVector(env.n, width, 0) },
 		func(id graph.NodeID) graphObj { return nil }, // no vector leaves: checkServable rejected them
 		leafDataOf(env),
 	)
+	tr.End(lspan)
+	tr.End(cspan)
 	if err != nil {
 		return err
 	}
@@ -291,22 +370,35 @@ func (s *Server) runLazy(sys *System, cancel <-chan struct{}, exprs []*Expr, res
 		}
 	}()
 	if len(lw.prog) > 0 {
-		st, opNs, err := sys.execBatchProfile(lw.prog, cancel)
+		pspan := tr.Begin("prepare", 0)
+		pp, err := sys.prepareProgramTraced(lw.prog, tr, pspan)
+		tr.End(pspan)
+		if err != nil {
+			return err
+		}
+		espan := tr.BeginOn("execute", 0, worker)
+		rspan := tr.BeginOn("run", espan, worker)
+		st, opNs, err := sys.runPrepared(pp, cancel)
+		tr.End(rspan)
+		tr.End(espan)
 		if err != nil {
 			return err
 		}
 		s.profiles.Record(env.key, plan, opNs, modelCost(sys.cfg))
 		res.Batch = toBatchStats(st)
 	}
+	gspan := tr.Begin("gather", 0)
 	res.Values = make([][]uint64, len(lw.results))
 	for i, r := range lw.results {
 		vals, err := r.obj.Load()
 		if err != nil {
 			res.Values = nil
+			tr.End(gspan)
 			return err
 		}
 		res.Values[i] = vals
 	}
+	tr.End(gspan)
 	return nil
 }
 
@@ -325,6 +417,12 @@ type TenantServerStats struct {
 	// Utilization is the tenant's share of all execution time the
 	// server has performed so far (0 when nothing has run).
 	Utilization float64
+	// Queue/Run latency quantiles from the tenant's log-scale
+	// histograms (sched.Ticket.QueueNs/RunNs observed per finished
+	// job): honest per-tenant tail latency, bounded relative error 1/8.
+	// Zero until the tenant's first job finishes.
+	QueueP50Ns, QueueP99Ns, QueueP999Ns int64
+	RunP50Ns, RunP99Ns, RunP999Ns       int64
 }
 
 // ServerStats is a point-in-time snapshot of the serving layer.
@@ -369,7 +467,9 @@ func (s *Server) Stats() ServerStats {
 			Rejected: ts.Rejected, Canceled: ts.Canceled,
 			Queued: ts.Queued, Running: ts.Running,
 			BusyNs: ts.BusyNs, WaitNs: ts.WaitNs,
-			ModeledNs: ts.ModeledNs,
+			ModeledNs:  ts.ModeledNs,
+			QueueP50Ns: ts.QueueP50Ns, QueueP99Ns: ts.QueueP99Ns, QueueP999Ns: ts.QueueP999Ns,
+			RunP50Ns: ts.RunP50Ns, RunP99Ns: ts.RunP99Ns, RunP999Ns: ts.RunP999Ns,
 		}
 		if totalBusy > 0 {
 			t.Utilization = float64(ts.BusyNs) / float64(totalBusy)

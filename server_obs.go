@@ -1,0 +1,199 @@
+package simdram
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+
+	"simdram/internal/obs"
+)
+
+// This file is the server's observability facade: public mirrors of
+// the internal/obs types (the facade never exposes internal packages),
+// snapshot accessors for traces, events, and metrics, and the
+// expvar-style HTTP debug handler. See docs/observability.md for the
+// span model and metric names.
+
+// TraceSpan is one timed stage of a traced job. Spans form a tree via
+// Parent (an index into JobTrace.Spans; the root "job" span is index 0
+// with Parent -1); times are nanoseconds relative to the trace start.
+type TraceSpan struct {
+	Name string `json:"name"`
+	// Parent is the index of the enclosing span in JobTrace.Spans, -1
+	// for the root.
+	Parent int `json:"parent"`
+	// Channel is the cluster channel the stage ran on, -1 when the
+	// stage is not channel-bound.
+	Channel int   `json:"channel"`
+	StartNs int64 `json:"start_ns"`
+	EndNs   int64 `json:"end_ns"`
+}
+
+// DurNs returns the span's duration (0 if it never closed).
+func (s TraceSpan) DurNs() int64 {
+	if s.EndNs <= s.StartNs {
+		return 0
+	}
+	return s.EndNs - s.StartNs
+}
+
+// JobTrace is one sampled job's completed span tree, as retained by
+// the flight recorder.
+type JobTrace struct {
+	// ID matches JobResult.TraceID of the job that produced this trace.
+	ID uint64 `json:"id"`
+	// StartUnixNs anchors the spans' relative times to the wall clock.
+	StartUnixNs int64 `json:"start_unix_ns"`
+	// Err is the job's failure message, "" on success.
+	Err string `json:"err,omitempty"`
+	// Spans is the span tree in creation order; Spans[0] is the root
+	// "job" span covering admission to completion.
+	Spans []TraceSpan `json:"spans"`
+}
+
+// ObsEvent is one notable incident from the flight recorder's event
+// ring: kinds are "error" (a job failed), "evict" (the plan cache
+// evicted a compiled plan), and "recompile" (profile feedback rebuilt
+// a plan).
+type ObsEvent struct {
+	AtUnixNs int64  `json:"at_unix_ns"`
+	Kind     string `json:"kind"`
+	Detail   string `json:"detail"`
+}
+
+// MetricPoint is one series from the server's metrics registry. For
+// histograms the quantiles are filled from the log-scale buckets
+// (relative error bounded at 1/8) and Value is the observation count;
+// for counters and gauges only Value is meaningful.
+type MetricPoint struct {
+	Name string `json:"name"`
+	// Kind is "counter", "gauge", or "histogram".
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+	// Histogram-only fields.
+	Sum  int64   `json:"sum,omitempty"`
+	Mean float64 `json:"mean,omitempty"`
+	P50  int64   `json:"p50,omitempty"`
+	P90  int64   `json:"p90,omitempty"`
+	P99  int64   `json:"p99,omitempty"`
+	P999 int64   `json:"p999,omitempty"`
+}
+
+func toMetricPoints(ms []obs.Metric) []MetricPoint {
+	out := make([]MetricPoint, 0, len(ms))
+	for _, m := range ms {
+		p := MetricPoint{Name: m.Name, Kind: m.Kind.String(), Value: m.Value}
+		if m.Hist != nil {
+			p.Sum = m.Hist.Sum
+			p.Mean = m.Hist.Mean()
+			p.P50 = m.Hist.Quantile(0.50)
+			p.P90 = m.Hist.Quantile(0.90)
+			p.P99 = m.Hist.Quantile(0.99)
+			p.P999 = m.Hist.Quantile(0.999)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func toJobTrace(t *obs.Trace) JobTrace {
+	spans := t.Spans()
+	jt := JobTrace{ID: t.ID, StartUnixNs: t.StartUnixNs, Err: t.Err(), Spans: make([]TraceSpan, len(spans))}
+	for i, s := range spans {
+		jt.Spans[i] = TraceSpan{Name: s.Name, Parent: s.Parent, Channel: s.Channel, StartNs: s.StartNs, EndNs: s.EndNs}
+	}
+	return jt
+}
+
+// Traces returns the flight recorder's retained span trees, oldest
+// first — the last TraceDepth completed sampled jobs.
+func (s *Server) Traces() []JobTrace {
+	ts := s.rec.Traces()
+	out := make([]JobTrace, len(ts))
+	for i, t := range ts {
+		out[i] = toJobTrace(t)
+	}
+	return out
+}
+
+// Events returns the flight recorder's retained incidents (errors,
+// plan-cache evictions, profile-guided recompiles), oldest first.
+func (s *Server) Events() []ObsEvent {
+	es := s.rec.Events()
+	out := make([]ObsEvent, len(es))
+	for i, e := range es {
+		out[i] = ObsEvent{AtUnixNs: e.AtUnixNs, Kind: e.Kind, Detail: e.Detail}
+	}
+	return out
+}
+
+// TraceRing reports the flight recorder's occupancy: retained traces,
+// total ever recorded, and ring capacity.
+func (s *Server) TraceRing() (retained int, total uint64, depth int) {
+	return len(s.rec.Traces()), s.rec.TraceCount(), s.rec.Depth()
+}
+
+// ResetTraces clears the flight recorder's trace and event rings —
+// e.g. to discard warmup history so a measurement window starts clean.
+// In-flight jobs are unaffected; their traces land in the emptied ring
+// as they complete.
+func (s *Server) ResetTraces() { s.rec.Reset() }
+
+// Metrics returns every series from the serving stack's metrics
+// registry — scheduler counters and depth gauges, global and
+// per-tenant latency histograms, plan-eviction counters, and the
+// cluster's per-channel dispatch histograms — sorted by kind then
+// name.
+func (s *Server) Metrics() []MetricPoint {
+	out := toMetricPoints(s.metrics.Snapshot())
+	out = append(out, s.cl.Metrics()...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Metrics returns the cluster's dispatch series: the "cluster.batches"
+// counter and one "cluster.dispatch_ns{channel=N}" histogram of
+// modeled per-batch critical paths per channel.
+func (c *Cluster) Metrics() []MetricPoint {
+	return toMetricPoints(c.metrics.Snapshot())
+}
+
+// DebugHandler returns an expvar-style HTTP handler serving one JSON
+// document with the server's point-in-time observability state:
+//
+//	{
+//	  "stats":   ServerStats,
+//	  "metrics": []MetricPoint,
+//	  "traces":  []JobTrace,
+//	  "events":  []ObsEvent
+//	}
+//
+// Mount it wherever the deployment exposes debug endpoints:
+//
+//	http.Handle("/debug/simdram", srv.DebugHandler())
+func (s *Server) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		doc := struct {
+			Stats   ServerStats   `json:"stats"`
+			Metrics []MetricPoint `json:"metrics"`
+			Traces  []JobTrace    `json:"traces"`
+			Events  []ObsEvent    `json:"events"`
+		}{
+			Stats:   s.Stats(),
+			Metrics: s.Metrics(),
+			Traces:  s.Traces(),
+			Events:  s.Events(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
