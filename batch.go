@@ -60,6 +60,52 @@ func (s *System) ExecBatch(prog isa.Program) (BatchStats, error) {
 	return toBatchStats(st), nil
 }
 
+// DeviceUsage attributes one executed batch to the hardware that did
+// the work: per-bank modeled busy time, DRAM command counts, and
+// measured energy, indexed by bank. Bank sums equal the batch's
+// aggregate stats (EnergyPJ exactly; BusyNs equals the batch's
+// serial-equivalent BusyNs), so usage from many batches can be summed
+// into per-tenant or per-channel bills without double counting.
+type DeviceUsage struct {
+	BusyNs   []float64
+	Commands []int64
+	EnergyPJ []float64
+}
+
+// TotalEnergyPJ sums the per-bank energy bills.
+func (u DeviceUsage) TotalEnergyPJ() float64 {
+	var t float64
+	for _, v := range u.EnergyPJ {
+		t += v
+	}
+	return t
+}
+
+// TotalBusyNs sums the per-bank busy bills.
+func (u DeviceUsage) TotalBusyNs() float64 {
+	var t float64
+	for _, v := range u.BusyNs {
+		t += v
+	}
+	return t
+}
+
+// ExecBatchUsage is ExecBatch surfacing the per-bank device usage the
+// batch was billed — the attribution a resource accountant (or the
+// serving layer's tenant bills) consumes.
+func (s *System) ExecBatchUsage(prog isa.Program) (BatchStats, DeviceUsage, error) {
+	pp, err := s.prepareProgram(prog)
+	if err != nil {
+		return BatchStats{}, DeviceUsage{}, err
+	}
+	var at ctrl.Attribution
+	st, _, err := s.runPreparedAttr(pp, nil, &at)
+	if err != nil {
+		return BatchStats{}, DeviceUsage{}, err
+	}
+	return toBatchStats(st), DeviceUsage{BusyNs: at.BusyNs, Commands: at.Commands, EnergyPJ: at.EnergyPJ}, nil
+}
+
 // toBatchStats converts the control unit's stats to the public mirror
 // — the single conversion point the "keep the fields in sync" contract
 // (and its reflection test) protects.
@@ -209,6 +255,14 @@ func (s *System) prepareProgramTraced(prog isa.Program, tr *obs.Trace, parent in
 // re-verifies object liveness and scratch headroom (the only state that
 // can legally drift between runs), then dispatches the prepared batch.
 func (s *System) runPrepared(pp *preparedProgram, cancel <-chan struct{}) (ctrl.BatchStats, []float64, error) {
+	return s.runPreparedAttr(pp, cancel, nil)
+}
+
+// runPreparedAttr is runPrepared with an optional device-attribution
+// sink: on success the run's per-bank busy time, commands, and energy
+// are accumulated into at (see ctrl.Attribution). A nil sink keeps the
+// run allocation-free.
+func (s *System) runPreparedAttr(pp *preparedProgram, cancel <-chan struct{}, at *ctrl.Attribution) (ctrl.BatchStats, []float64, error) {
 	for _, b := range pp.binds {
 		if v, ok := s.objects[b.h]; !ok || v != b.v || b.v.freed {
 			return ctrl.BatchStats{}, nil, errorf("prepared program is stale: object %d was freed or replaced", b.h)
@@ -222,7 +276,7 @@ func (s *System) runPrepared(pp *preparedProgram, cancel <-chan struct{}) (ctrl.
 	if pp.prep == nil {
 		return ctrl.BatchStats{}, nil, nil // program of only trsp_init instructions
 	}
-	st, durNs, err := s.cu.ExecutePrepared(pp.prep, cancel)
+	st, durNs, err := s.cu.ExecutePreparedAttr(pp.prep, cancel, at)
 	if err != nil {
 		return st, nil, err
 	}

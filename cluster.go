@@ -71,13 +71,16 @@ type Cluster struct {
 	profiles *graph.ProfileStore
 
 	// metrics holds the cluster's dispatch observability: a batch
-	// counter and one modeled-latency histogram per channel
-	// (cluster.dispatch_ns{channel=N}), so per-channel skew shows up as
-	// diverging distributions, not just the point-in-time utilization
-	// vector. Exposed via Metrics().
+	// counter and, per channel, a modeled-latency histogram
+	// (cluster.dispatch_ns{channel=N}) plus cumulative energy and
+	// command counters (cluster.energy_pj{channel=N},
+	// cluster.commands{channel=N}), so per-channel skew shows up in
+	// energy terms as well as time. Exposed via Metrics().
 	metrics  *obs.Registry
 	batches  *obs.Counter
 	dispatch []*obs.Histogram
+	energy   []*obs.FloatCounter
+	commands []*obs.Counter
 }
 
 // NewCluster builds a cluster of cfg.Channels independent channels.
@@ -103,8 +106,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	c.batches = c.metrics.Counter("cluster.batches")
 	for ch := 0; ch < cfg.Channels; ch++ {
+		label := strconv.Itoa(ch)
 		c.dispatch = append(c.dispatch,
-			c.metrics.Histogram(obs.TenantSeries("cluster.dispatch_ns", "channel", strconv.Itoa(ch))))
+			c.metrics.Histogram(obs.TenantSeries("cluster.dispatch_ns", "channel", label)))
+		c.energy = append(c.energy,
+			c.metrics.FloatCounter(obs.TenantSeries("cluster.energy_pj", "channel", label)))
+		c.commands = append(c.commands,
+			c.metrics.Counter(obs.TenantSeries("cluster.commands", "channel", label)))
 	}
 	for i := 0; i < cfg.Channels; i++ {
 		sys, err := New(cfg.Channel)
@@ -346,6 +354,9 @@ type ClusterBatchStats struct {
 	// ChannelUtilization[i] is channel i's critical path as a fraction
 	// of the cluster makespan — 1.0 bounds the batch, 0 means idle.
 	ChannelUtilization []float64
+	// ChannelEnergyPJ[i] is channel i's share of EnergyPJ (entries sum
+	// to it): the per-channel energy skew of the batch.
+	ChannelEnergyPJ []float64
 }
 
 // Speedup returns the fabric-overlap factor: aggregate work divided by
@@ -495,6 +506,8 @@ func (c *Cluster) runSharded(nInstr int, ran []int, run func(ch int, cancel <-ch
 	c.batches.Inc()
 	for _, ch := range ran {
 		c.dispatch[ch].Observe(int64(perCh[ch].CriticalPathNs))
+		c.energy[ch].Add(perCh[ch].EnergyPJ)
+		c.commands[ch].Add(uint64(perCh[ch].Commands))
 	}
 	m := cluster.Merge(perCh)
 	// Per-op attribution: the instruction's latency is its slowest
@@ -519,6 +532,7 @@ func (c *Cluster) runSharded(nInstr int, ran []int, run func(ch int, cancel <-ch
 		CriticalPathNs:     m.CriticalPathNs,
 		EnergyPJ:           m.EnergyPJ,
 		ChannelUtilization: m.ChannelUtilization,
+		ChannelEnergyPJ:    m.ChannelEnergyPJ,
 	}, opNs, nil
 }
 

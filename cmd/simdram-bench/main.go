@@ -33,6 +33,8 @@ func main() {
 	inflight := flag.Int("inflight", 4, "in-flight jobs per tenant for -serve")
 	channels := flag.Int("channels", 4, "cluster channels for -serve")
 	traceJobs := flag.Int("trace-jobs", 0, "print the span trees of the last N traced jobs after -serve")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics (Prometheus exposition) and /debug/simdram (JSON) on this address during -serve")
+	telemetryHold := flag.Duration("telemetry-hold", 0, "keep the -telemetry-addr endpoint up this long after the -serve demo finishes (for scrapers)")
 	jsonPath := flag.String("json", "", "write machine-readable demo metrics to this file (for scripts/perfcheck)")
 	flag.Parse()
 
@@ -48,7 +50,9 @@ func main() {
 		}
 	}
 	if *serve {
-		runDemo(func() error { return runServeDemo(*tenants, *jobs, *inflight, *channels, *traceJobs, m) })
+		runDemo(func() error {
+			return runServeDemo(*tenants, *jobs, *inflight, *channels, *traceJobs, *telemetryAddr, *telemetryHold, m)
+		})
 		return
 	}
 	if *graphMode {

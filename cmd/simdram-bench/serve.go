@@ -3,7 +3,10 @@ package main
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -28,14 +31,30 @@ import (
 // percentiles come from the server's log-scale registry histograms —
 // the same numbers an operator reads off the debug endpoint — not
 // from a demo-side sort of collected samples.
-func runServeDemo(tenants, jobs, inflight, channels, traceJobs int, m metrics) error {
+// The demo also exercises the device-telemetry layer: every tenant's
+// per-job batch stats are re-summed demo-side and cross-checked
+// against the server's attribution bills (tenant.energy_pj,
+// tenant.dram_ns), channel bills must sum to tenant bills, and a
+// deliberately slow "slowpoke" tenant trips a configured run_p99 SLO
+// whose burn-rate event must land in the flight recorder. With
+// -telemetry-addr the demo serves /metrics (Prometheus exposition) and
+// /debug/simdram (JSON) while it runs, and -telemetry-hold keeps the
+// endpoint up afterwards for scrapers.
+func runServeDemo(tenants, jobs, inflight, channels, traceJobs int, telemetryAddr string, telemetryHold time.Duration, m metrics) error {
 	if tenants < 1 || jobs < 1 || inflight < 1 || channels < 1 {
 		return fmt.Errorf("-serve needs positive -tenants/-jobs/-inflight/-channels")
 	}
 	if inflight > jobs {
 		inflight = jobs
 	}
+	// The SLO the slowpoke tenant will breach: its p99 run time must
+	// stay under 2ms over a trailing 30s, and the induced jobs sleep
+	// far longer than that.
+	const slowpokeTargetNs = 2 * int64(time.Millisecond)
 	cfg := simdram.DefaultServerConfig(channels)
+	cfg.SLOs = []simdram.SLO{
+		{Tenant: "slowpoke", Metric: "run_p99", TargetNs: slowpokeTargetNs, Window: 30 * time.Second},
+	}
 	// Request-sized lanes: serving jobs are small; a slimmer geometry
 	// keeps the host-side transposition cost proportionate. At 256
 	// lanes per subarray a 2048-element vector spans 8 segments over 4
@@ -53,6 +72,20 @@ func runServeDemo(tenants, jobs, inflight, channels, traceJobs int, m metrics) e
 		return err
 	}
 	defer srv.Close()
+
+	if telemetryAddr != "" {
+		ln, err := net.Listen("tcp", telemetryAddr)
+		if err != nil {
+			return fmt.Errorf("-telemetry-addr: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		mux.Handle("/debug/simdram", srv.DebugHandler())
+		hs := &http.Server{Handler: mux}
+		go hs.Serve(ln)
+		defer hs.Close()
+		fmt.Printf("telemetry: serving /metrics and /debug/simdram on http://%s\n", ln.Addr())
+	}
 
 	const elems = 2048
 	shapes := batchgen.ServeShapes(elems)
@@ -91,6 +124,10 @@ func runServeDemo(tenants, jobs, inflight, channels, traceJobs int, m metrics) e
 		lats     []jobLat
 		hits     int
 		profiled int
+		// Demo-side re-aggregation of each tenant's batch stats, for the
+		// cross-check against the server's attribution bills.
+		demoEnergy = map[string]float64{}
+		demoDRAM   = map[string]float64{}
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -128,6 +165,8 @@ func runServeDemo(tenants, jobs, inflight, channels, traceJobs int, m metrics) e
 						}
 						mu.Lock()
 						lats = append(lats, jobLat{traceID: res.TraceID, queueNs: res.QueueNs, runNs: res.RunNs})
+						demoEnergy[tenant] += res.Batch.EnergyPJ
+						demoDRAM[tenant] += res.Batch.CriticalPathNs
 						if res.Compile.CacheHit {
 							hits++
 						}
@@ -223,6 +262,81 @@ func runServeDemo(tenants, jobs, inflight, channels, traceJobs int, m metrics) e
 		return fmt.Errorf("serving demo: p99 queue wait is zero — queue histogram not populated")
 	}
 
+	// SLO audit: the slowpoke tenant submits a few raw jobs that sleep
+	// well past the configured 2ms p99 target, which must trip the SLO
+	// and land an edge-triggered burn-rate event in the flight recorder.
+	// (Induced after the trace audits: raw jobs have their own span
+	// structure.)
+	for i := 0; i < 3; i++ {
+		fut, err := srv.Submit(context.Background(), "slowpoke", func(sys *simdram.System, cancel <-chan struct{}) error {
+			time.Sleep(4 * time.Duration(slowpokeTargetNs))
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("serving demo: slowpoke submit: %w", err)
+		}
+		if _, err := fut.Wait(); err != nil {
+			return fmt.Errorf("serving demo: slowpoke job: %w", err)
+		}
+	}
+	var slowpoke simdram.SLOStatus
+	for _, st := range srv.SLOStatus() {
+		if st.SLO.Tenant == "slowpoke" {
+			slowpoke = st
+		}
+	}
+	if !slowpoke.Breaching || slowpoke.BurnRate <= 1 {
+		return fmt.Errorf("serving demo: slowpoke SLO did not trip: %+v", slowpoke)
+	}
+	sloEvents := 0
+	for _, ev := range srv.Events() {
+		if ev.Kind == "slo" {
+			sloEvents++
+		}
+	}
+	if sloEvents == 0 {
+		return fmt.Errorf("serving demo: SLO breach emitted no burn-rate event into the flight recorder")
+	}
+
+	// Attribution audit: the server's device bills are an independent
+	// pipeline (per-bank attribution summed through the registry); they
+	// must agree with the demo's own re-aggregation of each tenant's
+	// batch stats, and the channel bills must sum to the tenant bills.
+	dev := srv.DeviceStats()
+	relDiff := func(a, b float64) float64 {
+		if a == b {
+			return 0
+		}
+		return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+	}
+	var steadyEnergy float64
+	for tenant, want := range demoEnergy {
+		bill, ok := dev.Tenants[tenant]
+		if !ok {
+			return fmt.Errorf("serving demo: tenant %s has no device bill", tenant)
+		}
+		if relDiff(bill.EnergyPJ, want) > 1e-9 {
+			return fmt.Errorf("serving demo: tenant %s billed %.3f pJ, its batches reported %.3f pJ", tenant, bill.EnergyPJ, want)
+		}
+		if relDiff(bill.DRAMNs, demoDRAM[tenant]) > 1e-9 {
+			return fmt.Errorf("serving demo: tenant %s billed %.3f DRAM-ns, its batches reported %.3f", tenant, bill.DRAMNs, demoDRAM[tenant])
+		}
+		steadyEnergy += want
+	}
+	var chanEnergy, chanBusy, billedTotal float64
+	for _, ch := range dev.Channels {
+		chanEnergy += ch.EnergyPJ
+		chanBusy += ch.BusyNs
+	}
+	var tenantEnergy float64
+	for _, bill := range dev.Tenants {
+		tenantEnergy += bill.EnergyPJ
+		billedTotal += bill.DRAMNs
+	}
+	if relDiff(chanEnergy, tenantEnergy) > 1e-9 {
+		return fmt.Errorf("serving demo: channel energy bills sum to %.3f pJ, tenant bills to %.3f pJ", chanEnergy, tenantEnergy)
+	}
+
 	fmt.Printf("serving demo: %d tenants × %d jobs (%d in flight each) over %d channels, %d shapes × %d elements\n",
 		tenants, jobs, inflight, channels, len(shapes), elems)
 	fmt.Printf("  throughput:         %8.0f jobs/s  (%d jobs in %v, all verified against references)\n",
@@ -237,6 +351,19 @@ func runServeDemo(tenants, jobs, inflight, channels, traceJobs int, m metrics) e
 		st.Profile.Recompiles, st.Profile.Jobs, profiled, total)
 	fmt.Printf("  admission:          %d submitted, %d completed, %d rejected, %d canceled\n",
 		st.Submitted, st.Completed, st.Rejected, st.Canceled)
+	fmt.Printf("  device telemetry:   ")
+	for i, ch := range dev.Channels {
+		if i > 0 {
+			fmt.Printf(", ")
+		}
+		fmt.Printf("ch%d %.1fµs busy / %.2fnJ / %d cmds (util %.2f)",
+			ch.Channel, ch.BusyNs/1e3, ch.EnergyPJ/1e3, ch.Commands, ch.Utilization)
+	}
+	fmt.Println()
+	// Per-tenant utilization from the attribution bills (each tenant's
+	// share of all billed DRAM time), cross-checked against the
+	// scheduler's independently-modeled time: >1% divergence between the
+	// two pipelines is a billing bug, not noise.
 	fmt.Printf("  per-tenant p99 run: ")
 	names := make([]string, 0, len(st.Tenants))
 	for name := range st.Tenants {
@@ -244,19 +371,34 @@ func runServeDemo(tenants, jobs, inflight, channels, traceJobs int, m metrics) e
 	}
 	sort.Strings(names)
 	shown := 0
+	var diverged []string
 	for _, name := range names {
-		if name == "warmup" {
+		if name == "warmup" || name == "slowpoke" {
 			continue
 		}
 		if shown > 0 {
 			fmt.Printf(", ")
 		}
 		ts := st.Tenants[name]
-		fmt.Printf("%s %.2fms (util %.2f)", name, float64(ts.RunP99Ns)/1e6, ts.Utilization)
+		util := 0.0
+		if billedTotal > 0 {
+			util = dev.Tenants[name].DRAMNs / billedTotal
+		}
+		fmt.Printf("%s %.2fms (util %.2f)", name, float64(ts.RunP99Ns)/1e6, util)
+		if ts.ModeledNs > 0 && relDiff(ts.BilledNs, ts.ModeledNs) > 0.01 {
+			fmt.Printf(" [BILLING DIVERGED: billed %.0fns vs modeled %.0fns]", ts.BilledNs, ts.ModeledNs)
+			diverged = append(diverged, name)
+		}
 		shown++
 	}
 	fmt.Println()
+	fmt.Printf("  slo:                slowpoke run_p99 %.2fms > %.2fms target, burn %.0fx over %d samples (%d event)\n",
+		float64(slowpoke.CurrentNs)/1e6, float64(slowpokeTargetNs)/1e6, slowpoke.BurnRate, slowpoke.Samples, sloEvents)
 	printTraces(srv, traceJobs)
+
+	if len(diverged) > 0 {
+		return fmt.Errorf("serving demo: tenants %v: billed DRAM time diverges >1%% from the scheduler's modeled time", diverged)
+	}
 
 	m["serve.jobs"] = float64(total)
 	m["serve.jobs_per_sec"] = jobsPerSec
@@ -272,6 +414,10 @@ func runServeDemo(tenants, jobs, inflight, channels, traceJobs int, m metrics) e
 	m["serve.evicted_hot"] = float64(st.Cache.EvictedHot)
 	m["serve.recompiles"] = float64(st.Profile.Recompiles)
 	m["serve.profiled_jobs"] = float64(profiled)
+	// Deterministic: per-command energy is data-independent, so the
+	// steady-state shape mix fixes the attributed energy per job.
+	m["serve.energy_pj_per_job"] = steadyEnergy / float64(total)
+	m["serve.slo_burn_events"] = float64(sloEvents)
 	// Informational only: the gated host.* keys come from the -graph
 	// demo's JSON (perfcheck merges files last-write-wins).
 	if err := reportHostPerf(m, "serve.host_"); err != nil {
@@ -283,6 +429,10 @@ func runServeDemo(tenants, jobs, inflight, channels, traceJobs int, m metrics) e
 	}
 	if profiled != total {
 		return fmt.Errorf("serving demo regressed: %d of %d steady-state jobs ran profiled plans, want all (profile-guided recompile converged during warmup)", profiled, total)
+	}
+	if telemetryAddr != "" && telemetryHold > 0 {
+		fmt.Printf("holding telemetry endpoint for %s (ctrl-c to stop early)\n", telemetryHold)
+		time.Sleep(telemetryHold)
 	}
 	return nil
 }

@@ -25,6 +25,10 @@ type BatchStats struct {
 	// batch, lower for channels that finished early, 0 for idle ones.
 	// The spread of these values is the shard-balance skew.
 	ChannelUtilization []float64
+	// ChannelEnergyPJ[i] is channel i's share of EnergyPJ, so channel
+	// skew is visible in energy terms, not just time; the entries sum to
+	// EnergyPJ.
+	ChannelEnergyPJ []float64
 }
 
 // Merge folds the per-channel stats (index = channel) into cluster
@@ -42,6 +46,10 @@ func Merge(per []ctrl.BatchStats) BatchStats {
 		CriticalPathNs:     m.CriticalPathNs,
 		EnergyPJ:           m.EnergyPJ,
 		ChannelUtilization: make([]float64, len(per)),
+		ChannelEnergyPJ:    make([]float64, len(per)),
+	}
+	for i, st := range per {
+		out.ChannelEnergyPJ[i] = st.EnergyPJ
 	}
 	if m.CriticalPathNs > 0 {
 		for i, st := range per {

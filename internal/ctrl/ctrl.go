@@ -53,6 +53,18 @@ func (s *ExecStats) Add(other ExecStats) {
 	s.EnergyPJ += other.EnergyPJ
 }
 
+// Sub returns s minus other — the activity between two snapshots of a
+// unit's Stats, which is how a caller attributes a raw (non-prepared)
+// execution window to whoever requested it.
+func (s ExecStats) Sub(other ExecStats) ExecStats {
+	return ExecStats{
+		Instructions: s.Instructions - other.Instructions,
+		Commands:     s.Commands - other.Commands,
+		BusyNs:       s.BusyNs - other.BusyNs,
+		EnergyPJ:     s.EnergyPJ - other.EnergyPJ,
+	}
+}
+
 // New builds a control unit for the module using the given synthesis
 // variant (VariantSIMDRAM for the paper's flow, VariantAmbit for the
 // in-DRAM baseline).

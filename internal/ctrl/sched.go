@@ -84,6 +84,12 @@ type batchPlan struct {
 	busyNs float64
 	spanNs float64
 	nCmds  int64
+	// Per-bank attribution of the batch under the timing model: modeled
+	// busy time (μProgram latency × segments placed on the bank) and
+	// command counts. Static per plan — energy, which depends on the
+	// executed commands, is measured per run instead.
+	bankBusy []float64
+	bankCmds []int64
 }
 
 // plan validates the jobs and computes the constraint graph and timing
@@ -96,10 +102,12 @@ type batchPlan struct {
 func (u *Unit) plan(jobs []Job) (*batchPlan, error) {
 	n := len(jobs)
 	pl := &batchPlan{
-		groups: make([][][]Segment, n),
-		preds:  make([][]int, n),
-		durNs:  make([]float64, n),
-		finish: make([]float64, n),
+		groups:   make([][][]Segment, n),
+		preds:    make([][]int, n),
+		durNs:    make([]float64, n),
+		finish:   make([]float64, n),
+		bankBusy: make([]float64, u.mod.NumBanks()),
+		bankCmds: make([]int64, u.mod.NumBanks()),
 	}
 	lastOnSub := map[[2]int]int{} // subarray → last job that touched it
 	bankFree := map[int]float64{} // bank → time it goes idle
@@ -115,6 +123,12 @@ func (u *Unit) plan(jobs []Job) (*batchPlan, error) {
 		durNs, commands := u.jobCost(job.Program, len(job.Segments), perBank)
 		pl.durNs[i] = durNs
 		pl.nCmds += commands
+		latNs := job.Program.LatencyNs(u.mod.Config().Timing)
+		cmdsPerSeg := int64(len(job.Program.Ops))
+		for b, segs := range perBank {
+			pl.bankBusy[b] += latNs * float64(segs)
+			pl.bankCmds[b] += cmdsPerSeg * int64(segs)
+		}
 
 		// Constraint predecessors: declared data hazards plus program-order
 		// edges between jobs sharing a subarray (the simulator's state
@@ -212,13 +226,23 @@ type segStream struct {
 	err    error
 }
 
+// groupResult is one subarray group's completion report, sent from a
+// pool worker back to the dispatch loop.
+type groupResult struct {
+	job      int
+	bank     int
+	energyPJ float64
+	err      error
+}
+
 // Prepared is a batch bound once for repeated execution: the validated
 // schedule (constraint graph and deterministic timing) plus one
 // resolved command stream per segment. ExecutePrepared runs it without
 // re-planning or re-resolving anything — the run-many half of the
 // bind-once/run-many pipeline, which a compiled graph caches alongside
-// its plan. A Prepared is immutable and safe for repeated (serial)
-// ExecutePrepared calls.
+// its plan. The schedule and streams are immutable; the dispatch
+// scratch below makes each run allocation-free, which is also why a
+// Prepared supports repeated *serial* ExecutePrepared calls only.
 type Prepared struct {
 	jobs    []Job
 	pl      *batchPlan
@@ -227,6 +251,18 @@ type Prepared struct {
 	// interpretive batch re-runs uprog.Run per segment instead of the
 	// resolved streams.
 	interp bool
+
+	// Static dispatch structure, derived from pl.preds once at Prepare.
+	succs  [][]int    // job → jobs unblocked by its completion
+	indeg0 []int      // job → predecessor count
+	tasks  [][]func() // job → one pool task per subarray group
+
+	// Per-run scratch, reset at the top of every ExecutePrepared.
+	indeg      []int
+	remain     []int // outstanding subarray groups per job
+	ready      []int
+	results    chan groupResult
+	bankEnergy []float64 // bank → energy measured this run
 }
 
 // Jobs returns the number of jobs in the prepared batch.
@@ -248,89 +284,116 @@ func (u *Unit) Prepare(jobs []Job) (*Prepared, error) {
 		return nil, err
 	}
 	pb := &Prepared{jobs: jobs, pl: pl, interp: u.interpretive()}
-	if pb.interp {
-		return pb, nil
-	}
-	pb.streams = make([][][]segStream, len(jobs))
-	for i := range jobs {
-		groups := pl.groups[i]
-		pb.streams[i] = make([][]segStream, len(groups))
-		for gi, group := range groups {
-			ss := make([]segStream, len(group))
-			for si, seg := range group {
-				st, err := u.resolvedStream(jobs[i].Program, seg.Binding)
-				if err != nil {
-					ss[si] = segStream{err: fmt.Errorf("ctrl: bank %d subarray %d: %w", seg.Bank, seg.Sub, err)}
-					continue
+	if !pb.interp {
+		pb.streams = make([][][]segStream, len(jobs))
+		for i := range jobs {
+			groups := pl.groups[i]
+			pb.streams[i] = make([][]segStream, len(groups))
+			for gi, group := range groups {
+				ss := make([]segStream, len(group))
+				for si, seg := range group {
+					st, err := u.resolvedStream(jobs[i].Program, seg.Binding)
+					if err != nil {
+						ss[si] = segStream{err: fmt.Errorf("ctrl: bank %d subarray %d: %w", seg.Bank, seg.Sub, err)}
+						continue
+					}
+					ss[si] = segStream{stream: st}
 				}
-				ss[si] = segStream{stream: st}
+				pb.streams[i][gi] = ss
 			}
-			pb.streams[i][gi] = ss
 		}
 	}
+	u.bindDispatch(pb)
 	return pb, nil
 }
 
-// ExecutePrepared runs a prepared batch. Semantics, stats, and errors
-// match ExecuteBatchProfile; the per-run work is only the dependency
-// dispatch and the resolved-stream loops — no validation, resolution,
-// or planning.
-func (u *Unit) ExecutePrepared(pb *Prepared, cancel <-chan struct{}) (BatchStats, []float64, error) {
-	jobs, pl := pb.jobs, pb.pl
-	n := len(jobs)
-	succs := make([][]int, n)
-	indeg := make([]int, n)
+// bindDispatch precomputes everything ExecutePrepared needs per run —
+// successor lists, initial in-degrees, the pool task closures, the
+// result channel, and per-bank scratch — so the run itself touches no
+// allocator.
+func (u *Unit) bindDispatch(pb *Prepared) {
+	pl := pb.pl
+	n := len(pb.jobs)
+	pb.succs = make([][]int, n)
+	pb.indeg0 = make([]int, n)
 	for i, ps := range pl.preds {
-		indeg[i] = len(ps)
+		pb.indeg0[i] = len(ps)
 		for _, p := range ps {
-			succs[p] = append(succs[p], i)
+			pb.succs[p] = append(pb.succs[p], i)
 		}
 	}
-	remaining := make([]int, n) // outstanding subarray groups per job
-	for i := range jobs {
-		remaining[i] = len(pl.groups[i])
-	}
+	pb.indeg = make([]int, n)
+	pb.remain = make([]int, n)
+	pb.ready = make([]int, 0, n)
+	pb.results = make(chan groupResult, pl.totalGroups())
+	pb.bankEnergy = make([]float64, u.mod.NumBanks())
 
-	type groupResult struct {
-		job      int
-		energyPJ float64
-		err      error
-	}
-	results := make(chan groupResult, pl.totalGroups())
-	pool := u.pool()
-	issue := func(id int) {
-		p := jobs[id].Program
-		for gi, group := range pl.groups[id] {
-			gi, group := gi, group
-			pool.Run(func() {
-				// Only this worker touches this subarray right now (the
-				// constraint graph serializes same-subarray jobs), so its
-				// stats delta is race-free and attributable to this group.
-				sa := u.mod.Subarray(group[0].Bank, group[0].Sub)
+	pb.tasks = make([][]func(), n)
+	for i := range pb.jobs {
+		groups := pl.groups[i]
+		p := pb.jobs[i].Program
+		pb.tasks[i] = make([]func(), len(groups))
+		for gi, group := range groups {
+			id, gi, group := i, gi, group
+			bank := group[0].Bank
+			// Only one worker touches this subarray at a time (the
+			// constraint graph serializes same-subarray jobs), so its
+			// stats delta is race-free and attributable to this group.
+			sa := u.mod.Subarray(group[0].Bank, group[0].Sub)
+			pb.tasks[i][gi] = func() {
 				before := sa.Stats
 				for si, seg := range group {
 					if pb.interp {
 						if err := uprog.Run(p, sa, seg.Binding); err != nil {
-							results <- groupResult{job: id, err: fmt.Errorf("ctrl: bank %d subarray %d: %w", seg.Bank, seg.Sub, err)}
+							pb.results <- groupResult{job: id, bank: bank, err: fmt.Errorf("ctrl: bank %d subarray %d: %w", seg.Bank, seg.Sub, err)}
 							return
 						}
 						continue
 					}
 					ss := pb.streams[id][gi][si]
 					if ss.err != nil {
-						results <- groupResult{job: id, err: ss.err}
+						pb.results <- groupResult{job: id, bank: bank, err: ss.err}
 						return
 					}
 					uprog.RunResolved(sa, ss.stream)
 				}
-				results <- groupResult{job: id, energyPJ: sa.Stats.Sub(before).EnergyPJ}
-			})
+				pb.results <- groupResult{job: id, bank: bank, energyPJ: sa.Stats.Sub(before).EnergyPJ}
+			}
 		}
 	}
+}
 
-	var ready []int
+// ExecutePrepared runs a prepared batch. Semantics, stats, and errors
+// match ExecuteBatchProfile; the per-run work is only the dependency
+// dispatch and the resolved-stream loops — no validation, resolution,
+// planning, or heap allocation (the dispatch state lives in the
+// Prepared, which is why runs of one Prepared must be serial).
+func (u *Unit) ExecutePrepared(pb *Prepared, cancel <-chan struct{}) (BatchStats, []float64, error) {
+	return u.ExecutePreparedAttr(pb, cancel, nil)
+}
+
+// ExecutePreparedAttr is ExecutePrepared with an optional resource
+// attribution sink: on success, the run's per-bank modeled busy time,
+// command counts, and measured energy — plus the batch's critical
+// path — are accumulated into at. A nil sink costs nothing; a failed
+// or canceled run bills nothing (its partial DRAM effects are not
+// attributed, matching the error contract that stats are not
+// returned).
+func (u *Unit) ExecutePreparedAttr(pb *Prepared, cancel <-chan struct{}, at *Attribution) (BatchStats, []float64, error) {
+	jobs, pl := pb.jobs, pb.pl
+	n := len(jobs)
+	copy(pb.indeg, pb.indeg0)
 	for i := range jobs {
-		if indeg[i] == 0 {
+		pb.remain[i] = len(pl.groups[i])
+	}
+	for i := range pb.bankEnergy {
+		pb.bankEnergy[i] = 0
+	}
+	pool := u.pool()
+
+	ready := pb.ready[:0]
+	for i := range jobs {
+		if pb.indeg[i] == 0 {
 			ready = append(ready, i)
 		}
 	}
@@ -348,26 +411,29 @@ func (u *Unit) ExecutePrepared(pb *Prepared, cancel <-chan struct{}) (BatchStats
 		}
 		if len(failures) == 0 && !canceled {
 			for _, id := range ready {
-				issue(id)
-				inflight += len(pl.groups[id])
+				for _, task := range pb.tasks[id] {
+					pool.Run(task)
+				}
+				inflight += len(pb.tasks[id])
 			}
 		}
 		ready = ready[:0]
 		if inflight == 0 {
 			break // fail-fast: nothing running, unissued jobs are skipped
 		}
-		r := <-results
+		r := <-pb.results
 		inflight--
 		if r.err != nil {
 			failures = append(failures, r.err)
 		}
 		energyPJ += r.energyPJ
-		remaining[r.job]--
-		if remaining[r.job] == 0 {
+		pb.bankEnergy[r.bank] += r.energyPJ
+		pb.remain[r.job]--
+		if pb.remain[r.job] == 0 {
 			doneJobs++
-			for _, s := range succs[r.job] {
-				indeg[s]--
-				if indeg[s] == 0 {
+			for _, s := range pb.succs[r.job] {
+				pb.indeg[s]--
+				if pb.indeg[s] == 0 {
 					ready = append(ready, s)
 				}
 			}
@@ -392,6 +458,15 @@ func (u *Unit) ExecutePrepared(pb *Prepared, cancel <-chan struct{}) (BatchStats
 		BusyNs:       st.CriticalPathNs,
 		EnergyPJ:     st.EnergyPJ,
 	})
+	if at != nil {
+		at.grow(len(pl.bankBusy))
+		for b := range pl.bankBusy {
+			at.BusyNs[b] += pl.bankBusy[b]
+			at.Commands[b] += pl.bankCmds[b]
+			at.EnergyPJ[b] += pb.bankEnergy[b]
+		}
+		at.SpanNs += pl.spanNs
+	}
 	return st, pl.durNs, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -41,6 +42,36 @@ func (c *Counter) Value() uint64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// FloatCounter is a monotonically increasing float64 — the counter for
+// quantities the timing and energy models report as floats (modeled
+// nanoseconds, picojoules). Add is a lock-free CAS loop on the bit
+// pattern; like Counter it is nil-safe, so optional attribution sinks
+// never need call-site guards.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add increments the counter by v (non-positive deltas are dropped —
+// the series is monotonic by contract).
+func (c *FloatCounter) Add(v float64) {
+	if c == nil || v <= 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total (0 for a nil counter).
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
 }
 
 // Gauge is an instantaneous signed level (queue depth, running jobs).
@@ -172,6 +203,43 @@ func (s *HistSnapshot) Merge(o HistSnapshot) {
 	s.Sum += o.Sum
 }
 
+// Sub returns s minus o bucket-wise — the distribution of observations
+// that happened between two cumulative snapshots of the same histogram
+// (the windowed view a trailing-window SLO evaluates). Buckets that
+// would go negative (o is not actually an earlier snapshot of s) clamp
+// to zero, and Count is recomputed from the clamped buckets so the
+// invariant Count == sum(Counts) holds on the result.
+func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	var out HistSnapshot
+	for i := range s.Counts {
+		if s.Counts[i] > o.Counts[i] {
+			out.Counts[i] = s.Counts[i] - o.Counts[i]
+		}
+		out.Count += out.Counts[i]
+	}
+	if s.Sum > o.Sum {
+		out.Sum = s.Sum - o.Sum
+	}
+	return out
+}
+
+// FractionAbove returns the fraction of observations strictly above v
+// — the "bad events" numerator of an SLO burn rate. Resolution is the
+// histogram's bucket width: a bucket counts as above v when its
+// representative value (bucketMid) exceeds v. Returns 0 when empty.
+func (s HistSnapshot) FractionAbove(v int64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	var above uint64
+	for i, c := range s.Counts {
+		if c != 0 && bucketMid(i) > v {
+			above += c
+		}
+	}
+	return float64(above) / float64(s.Count)
+}
+
 // Quantile returns the value at quantile q in [0, 1] (0 when the
 // histogram is empty). The result is the representative value of the
 // bucket containing the q-th observation, so relative error is bounded
@@ -258,18 +326,20 @@ const OverflowSeries = "obs.overflow"
 // and intended for setup paths (hold the returned pointer on the hot
 // path); Snapshot returns every series sorted by name.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	fcounters map[string]*FloatCounter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
+		counters:  map[string]*Counter{},
+		fcounters: map[string]*FloatCounter{},
+		gauges:    map[string]*Gauge{},
+		hists:     map[string]*Histogram{},
 	}
 }
 
@@ -292,6 +362,30 @@ func (r *Registry) Counter(name string) *Counter {
 		}
 		c = &Counter{}
 		r.counters[name] = c
+	}
+	return c
+}
+
+// FloatCounter returns the named float counter, creating it if absent
+// (nil from a nil registry). Float counters share the counter
+// namespace's capacity rules: past maxSeries, new names land on the
+// shared overflow series.
+func (r *Registry) FloatCounter(name string) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.fcounters[name]
+	if !ok {
+		if len(r.fcounters) >= maxSeries {
+			name = OverflowSeries
+			if c, ok = r.fcounters[name]; ok {
+				return c
+			}
+		}
+		c = &FloatCounter{}
+		r.fcounters[name] = c
 	}
 	return c
 }
@@ -351,6 +445,10 @@ func (r *Registry) Snapshot() []Metric {
 	for k, v := range r.counters {
 		counters[k] = v
 	}
+	fcounters := make(map[string]*FloatCounter, len(r.fcounters))
+	for k, v := range r.fcounters {
+		fcounters[k] = v
+	}
 	gauges := make(map[string]*Gauge, len(r.gauges))
 	for k, v := range r.gauges {
 		gauges[k] = v
@@ -361,9 +459,12 @@ func (r *Registry) Snapshot() []Metric {
 	}
 	r.mu.Unlock()
 
-	out := make([]Metric, 0, len(counters)+len(gauges)+len(hists))
+	out := make([]Metric, 0, len(counters)+len(fcounters)+len(gauges)+len(hists))
 	for name, c := range counters {
 		out = append(out, Metric{Name: name, Kind: KindCounter, Value: float64(c.Value())})
+	}
+	for name, c := range fcounters {
+		out = append(out, Metric{Name: name, Kind: KindCounter, Value: c.Value()})
 	}
 	for name, g := range gauges {
 		out = append(out, Metric{Name: name, Kind: KindGauge, Value: float64(g.Value())})
@@ -386,4 +487,47 @@ func (r *Registry) Snapshot() []Metric {
 // parse.
 func TenantSeries(base, label, value string) string {
 	return base + "{" + label + "=" + value + "}"
+}
+
+// Labels renders a multi-label series name, base{k1=v1,k2=v2,...},
+// from alternating key/value arguments. Callers pass keys in sorted
+// order so equal label sets always produce equal series names. An odd
+// trailing key is ignored; zero pairs return base unchanged.
+func Labels(base string, kv ...string) string {
+	if len(kv) < 2 {
+		return base
+	}
+	s := base + "{"
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			s += ","
+		}
+		s += kv[i] + "=" + kv[i+1]
+	}
+	return s + "}"
+}
+
+// ParseSeries splits a registry series name into its base and its
+// label pairs — the inverse of TenantSeries/Labels, used by exposition
+// surfaces that re-render labels in another syntax. A name with no
+// label block returns (name, nil).
+func ParseSeries(name string) (base string, labels [][2]string) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || name[len(name)-1] != '}' {
+		return name, nil
+	}
+	base = name[:open]
+	body := name[open+1 : len(name)-1]
+	for len(body) > 0 {
+		pair := body
+		if j := strings.IndexByte(body, ','); j >= 0 {
+			pair, body = body[:j], body[j+1:]
+		} else {
+			body = ""
+		}
+		if k := strings.IndexByte(pair, '='); k >= 0 {
+			labels = append(labels, [2]string{pair[:k], pair[k+1:]})
+		}
+	}
+	return base, labels
 }

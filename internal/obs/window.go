@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// WindowedSeries turns a cumulative total (a counter, a float counter,
+// an energy bill) into trailing per-second rates. It keeps a fixed
+// ring of (timestamp, total) samples recorded at most once per slice;
+// Rate reads the sample just outside the requested window and divides
+// the delta by the elapsed time. Record and Rate are allocation-free,
+// so a telemetry pump can tick every sampling slice without perturbing
+// the zero-alloc serving path.
+//
+// When the retained history is shorter than the requested window (cold
+// start, or a window wider than slice×capacity), Rate falls back to the
+// oldest retained sample — the rate over the history it actually has —
+// rather than extrapolating.
+type WindowedSeries struct {
+	mu      sync.Mutex
+	sliceNs int64
+	at      []int64   // ring of sample timestamps, ns
+	vals    []float64 // ring of cumulative totals
+	next    int       // ring write cursor
+	n       int       // samples retained, <= len(at)
+}
+
+// NewWindowedSeries builds a ring holding `slices` samples recorded at
+// most once per `slice`. The retained history therefore spans about
+// slice×slices; size it to the widest window you will ask for.
+func NewWindowedSeries(slice time.Duration, slices int) *WindowedSeries {
+	if slices < 2 {
+		slices = 2
+	}
+	sn := slice.Nanoseconds()
+	if sn < 1 {
+		sn = 1
+	}
+	return &WindowedSeries{
+		sliceNs: sn,
+		at:      make([]int64, slices),
+		vals:    make([]float64, slices),
+	}
+}
+
+// Record stores (nowNs, total) if at least one slice has elapsed since
+// the newest retained sample, overwriting the oldest once the ring is
+// full; earlier calls within the same slice are dropped. Nil-safe and
+// allocation-free.
+func (w *WindowedSeries) Record(nowNs int64, total float64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n > 0 {
+		last := (w.next - 1 + len(w.at)) % len(w.at)
+		if nowNs-w.at[last] < w.sliceNs {
+			return
+		}
+	}
+	w.at[w.next] = nowNs
+	w.vals[w.next] = total
+	w.next = (w.next + 1) % len(w.at)
+	if w.n < len(w.at) {
+		w.n++
+	}
+}
+
+// Rate returns the per-second rate of change of the total over the
+// trailing window ending at (nowNs, total): the delta against the
+// newest sample recorded at or before nowNs−window (the oldest retained
+// sample when history is shorter), over the actual elapsed time.
+// Returns 0 before the first Record and for non-positive elapsed time.
+func (w *WindowedSeries) Rate(nowNs int64, total float64, window time.Duration) float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n == 0 {
+		return 0
+	}
+	cutoff := nowNs - window.Nanoseconds()
+	base := (w.next - w.n + len(w.at)) % len(w.at) // oldest retained
+	for i := 1; i < w.n; i++ {
+		idx := (w.next - w.n + i + len(w.at)) % len(w.at)
+		if w.at[idx] > cutoff {
+			break
+		}
+		base = idx
+	}
+	elapsed := nowNs - w.at[base]
+	if elapsed <= 0 {
+		return 0
+	}
+	return (total - w.vals[base]) * 1e9 / float64(elapsed)
+}
+
+// WindowedHist is WindowedSeries for a whole distribution: a ring of
+// cumulative HistSnapshots from which trailing-window distributions are
+// recovered by bucket-wise subtraction (HistSnapshot.Sub). An SLO
+// tracker records the source histogram once per slice and asks for the
+// window's quantiles and bad-event fraction at evaluation time.
+type WindowedHist struct {
+	mu      sync.Mutex
+	sliceNs int64
+	at      []int64
+	snaps   []HistSnapshot
+	next    int
+	n       int
+}
+
+// NewWindowedHist builds a ring holding `slices` snapshots recorded at
+// most once per `slice`.
+func NewWindowedHist(slice time.Duration, slices int) *WindowedHist {
+	if slices < 2 {
+		slices = 2
+	}
+	sn := slice.Nanoseconds()
+	if sn < 1 {
+		sn = 1
+	}
+	return &WindowedHist{
+		sliceNs: sn,
+		at:      make([]int64, slices),
+		snaps:   make([]HistSnapshot, slices),
+	}
+}
+
+// Record stores (nowNs, snapshot of the cumulative histogram) under the
+// same once-per-slice, overwrite-oldest policy as WindowedSeries.Record.
+func (w *WindowedHist) Record(nowNs int64, s HistSnapshot) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n > 0 {
+		last := (w.next - 1 + len(w.at)) % len(w.at)
+		if nowNs-w.at[last] < w.sliceNs {
+			return
+		}
+	}
+	w.at[w.next] = nowNs
+	w.snaps[w.next] = s
+	w.next = (w.next + 1) % len(w.at)
+	if w.n < len(w.at) {
+		w.n++
+	}
+}
+
+// Windowed returns the distribution observed during the trailing window
+// ending at the current cumulative snapshot cur: cur minus the newest
+// retained snapshot at or before nowNs−window (the oldest retained one
+// when history is shorter). Before the first Record it returns cur
+// itself — the lifetime distribution — so early SLO evaluations degrade
+// to lifetime quantiles instead of reporting emptiness.
+func (w *WindowedHist) Windowed(nowNs int64, cur HistSnapshot, window time.Duration) HistSnapshot {
+	if w == nil {
+		return cur
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n == 0 {
+		return cur
+	}
+	cutoff := nowNs - window.Nanoseconds()
+	base := (w.next - w.n + len(w.at)) % len(w.at)
+	for i := 1; i < w.n; i++ {
+		idx := (w.next - w.n + i + len(w.at)) % len(w.at)
+		if w.at[idx] > cutoff {
+			break
+		}
+		base = idx
+	}
+	return cur.Sub(w.snaps[base])
+}

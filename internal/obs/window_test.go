@@ -1,0 +1,245 @@
+package obs
+
+// Edge-case coverage for histogram snapshots, the windowed-rate rings,
+// float counters, and series-cap overflow — pinning current behavior.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"simdram/internal/raceflag"
+)
+
+func TestQuantileEmptySnapshot(t *testing.T) {
+	var s HistSnapshot
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Error("empty Mean must be 0")
+	}
+	if s.FractionAbove(0) != 0 {
+		t.Error("empty FractionAbove must be 0")
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	s := h.Snapshot()
+	// 5 sits in an exact-width-1 bucket (values below 16 are exact), so
+	// every quantile of a single-sample snapshot is the sample itself.
+	for _, q := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if got := s.Quantile(q); got != 5 {
+			t.Errorf("single-sample Quantile(%v) = %d, want 5", q, got)
+		}
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("single-sample Mean = %v, want 5", got)
+	}
+}
+
+func TestHistSnapshotSubAndFractionAbove(t *testing.T) {
+	var h Histogram
+	h.Observe(2)
+	h.Observe(10)
+	old := h.Snapshot()
+	h.Observe(10)
+	h.Observe(1000)
+	h.Observe(1000)
+	win := h.Snapshot().Sub(old)
+	if win.Count != 3 {
+		t.Fatalf("windowed Count = %d, want 3", win.Count)
+	}
+	if got := win.Sum; got != 2010 {
+		t.Errorf("windowed Sum = %d, want 2010", got)
+	}
+	// 2 of the 3 windowed observations are above 100.
+	if got := win.FractionAbove(100); got != 2.0/3.0 {
+		t.Errorf("FractionAbove(100) = %v, want 2/3", got)
+	}
+	if got := win.FractionAbove(1 << 40); got != 0 {
+		t.Errorf("FractionAbove(huge) = %v, want 0", got)
+	}
+	// Sub against a NON-prefix snapshot clamps instead of going
+	// negative, and keeps Count == sum(Counts).
+	var other Histogram
+	other.Observe(7)
+	other.Observe(7)
+	clamped := old.Sub(other.Snapshot())
+	var total uint64
+	for _, c := range clamped.Counts {
+		total += c
+	}
+	if clamped.Count != total {
+		t.Errorf("clamped Count %d != bucket sum %d", clamped.Count, total)
+	}
+}
+
+func TestWindowedSeriesRates(t *testing.T) {
+	w := NewWindowedSeries(100*time.Millisecond, 16)
+	sec := int64(time.Second)
+	// 10 jobs/sec for 3 seconds.
+	for i := int64(0); i <= 3; i++ {
+		w.Record(i*sec, float64(10*i))
+	}
+	now, total := 3*sec, 30.0
+	if got := w.Rate(now, total, time.Second); got != 10 {
+		t.Errorf("1s rate = %v, want 10", got)
+	}
+	// 60s window falls back to the oldest sample (3s of history).
+	if got := w.Rate(now, total, 60*time.Second); got != 10 {
+		t.Errorf("60s rate over 3s history = %v, want 10", got)
+	}
+	// Rate accelerates: 20 more in the next second.
+	w.Record(4*sec, 50)
+	if got := w.Rate(4*sec, 50, time.Second); got != 20 {
+		t.Errorf("1s rate after burst = %v, want 20", got)
+	}
+	if got := (*WindowedSeries)(nil).Rate(0, 0, time.Second); got != 0 {
+		t.Errorf("nil ring Rate = %v, want 0", got)
+	}
+}
+
+func TestWindowedSeriesWrapsPastCapacity(t *testing.T) {
+	// 4-slot ring, samples every second: after 20 records only the last
+	// 4 are retained, so a wide window uses the oldest retained sample,
+	// not the dropped history.
+	w := NewWindowedSeries(time.Second, 4)
+	sec := int64(time.Second)
+	for i := int64(0); i < 20; i++ {
+		w.Record(i*sec, float64(i*i)) // accelerating total
+	}
+	now := 19 * sec
+	// Oldest retained sample is (16s, 256): rate = (361-256)/3.
+	want := (361.0 - 256.0) / 3.0
+	if got := w.Rate(now, 361, time.Hour); got != want {
+		t.Errorf("wrapped wide-window rate = %v, want %v", got, want)
+	}
+	// A 2s window still reads the in-ring sample at 17s.
+	want = (361.0 - 289.0) / 2.0
+	if got := w.Rate(now, 361, 2*time.Second); got != want {
+		t.Errorf("wrapped 2s rate = %v, want %v", got, want)
+	}
+	// Same-slice records dedup: a second record at 19s is dropped.
+	w.Record(now, 9999)
+	if got := w.Rate(now, 361, 2*time.Second); got != want {
+		t.Errorf("rate after same-slice dup = %v, want %v", got, want)
+	}
+}
+
+func TestWindowedHistWindowed(t *testing.T) {
+	var h Histogram
+	w := NewWindowedHist(time.Second, 4)
+	sec := int64(time.Second)
+	// Before any Record, Windowed degrades to the lifetime snapshot.
+	h.Observe(7)
+	if got := w.Windowed(0, h.Snapshot(), time.Second); got.Count != 1 {
+		t.Fatalf("cold Windowed Count = %d, want lifetime 1", got.Count)
+	}
+	w.Record(0, h.Snapshot())
+	for i := int64(1); i <= 6; i++ { // wraps the 4-slot ring
+		h.Observe(i * 100)
+		w.Record(i*sec, h.Snapshot())
+	}
+	// Window of 2s at t=6s: baseline is the snapshot at 4s → the
+	// observations at 5s and 6s.
+	win := w.Windowed(6*sec, h.Snapshot(), 2*time.Second)
+	if win.Count != 2 {
+		t.Errorf("2s windowed Count = %d, want 2", win.Count)
+	}
+	if win.Sum != 500+600 {
+		t.Errorf("2s windowed Sum = %d, want 1100", win.Sum)
+	}
+	// A wide window clamps to the oldest retained snapshot (t=3s).
+	win = w.Windowed(6*sec, h.Snapshot(), time.Hour)
+	if win.Count != 3 {
+		t.Errorf("wide windowed Count after wrap = %d, want 3", win.Count)
+	}
+}
+
+func TestFloatCounter(t *testing.T) {
+	var c FloatCounter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4000 {
+		t.Errorf("concurrent adds lost updates: %v, want 4000", got)
+	}
+	c.Add(-5) // non-positive deltas dropped: the series is monotonic
+	c.Add(0)
+	if got := c.Value(); got != 4000 {
+		t.Errorf("non-positive Add changed the counter: %v", got)
+	}
+	var nilC *FloatCounter
+	nilC.Add(1)
+	if nilC.Value() != 0 {
+		t.Error("nil FloatCounter must no-op")
+	}
+}
+
+func TestRegistryFloatCounterOverflowCap(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < maxSeries; i++ {
+		r.FloatCounter(fmt.Sprintf("f%d", i))
+	}
+	over := r.FloatCounter("one-too-many")
+	if over == nil {
+		t.Fatal("overflow must still return a usable counter")
+	}
+	over.Add(1.5)
+	if r.FloatCounter("another").Value() != 1.5 {
+		t.Fatal("all overflow names must share the overflow series")
+	}
+	if r.FloatCounter(OverflowSeries) != over {
+		t.Fatal("overflow series must be addressable by name")
+	}
+}
+
+func TestParseSeries(t *testing.T) {
+	base, labels := ParseSeries("plain")
+	if base != "plain" || labels != nil {
+		t.Errorf("ParseSeries(plain) = %q %v", base, labels)
+	}
+	base, labels = ParseSeries(TenantSeries("sched.run_ns", "tenant", "t0"))
+	if base != "sched.run_ns" || len(labels) != 1 || labels[0] != [2]string{"tenant", "t0"} {
+		t.Errorf("round-trip via TenantSeries failed: %q %v", base, labels)
+	}
+	base, labels = ParseSeries(Labels("bank.busy_ns", "bank", "3", "channel", "1"))
+	if base != "bank.busy_ns" || len(labels) != 2 ||
+		labels[0] != [2]string{"bank", "3"} || labels[1] != [2]string{"channel", "1"} {
+		t.Errorf("round-trip via Labels failed: %q %v", base, labels)
+	}
+	if got := Labels("solo"); got != "solo" {
+		t.Errorf("Labels with no pairs = %q, want base unchanged", got)
+	}
+}
+
+// TestWindowedRecordRateZeroAlloc keeps the telemetry pump off the
+// allocator: sampling rings and reading rates are hot-loop safe.
+func TestWindowedRecordRateZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc gate skipped under -race")
+	}
+	w := NewWindowedSeries(1, 8)
+	var now int64
+	if n := testing.AllocsPerRun(1000, func() {
+		now += 2
+		w.Record(now, float64(now))
+		_ = w.Rate(now, float64(now), 4*time.Nanosecond)
+	}); n != 0 {
+		t.Fatalf("windowed record/rate allocates %v per run, want 0", n)
+	}
+}

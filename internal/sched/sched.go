@@ -120,6 +120,11 @@ type tenantState struct {
 	submitted, completed, failed, rejected, canceled uint64
 	busyNs, waitNs                                   int64
 	modeledNs                                        float64
+	// modeledCtr mirrors modeledNs as the registry series
+	// sched.modeled_ns{tenant=T}, so the device-attribution pipeline can
+	// cross-check its per-tenant DRAM-time bills against what the
+	// scheduler observed without going through Stats.
+	modeledCtr *obs.FloatCounter
 
 	// queueHist/runHist are the tenant's latency distributions,
 	// registered as sched.queue_ns{tenant=T} / sched.run_ns{tenant=T}.
@@ -318,7 +323,9 @@ func (s *Scheduler) Observe(tenant string, modeledNs float64) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.tenantLocked(tenant).modeledNs += modeledNs
+	ts := s.tenantLocked(tenant)
+	ts.modeledNs += modeledNs
+	ts.modeledCtr.Add(modeledNs)
 }
 
 // tenantLocked returns the tenant's state, creating it (with its
@@ -327,8 +334,9 @@ func (s *Scheduler) tenantLocked(tenant string) *tenantState {
 	ts := s.tenants[tenant]
 	if ts == nil {
 		ts = &tenantState{
-			queueHist: s.metrics.Histogram(obs.TenantSeries("sched.queue_ns", "tenant", tenant)),
-			runHist:   s.metrics.Histogram(obs.TenantSeries("sched.run_ns", "tenant", tenant)),
+			queueHist:  s.metrics.Histogram(obs.TenantSeries("sched.queue_ns", "tenant", tenant)),
+			runHist:    s.metrics.Histogram(obs.TenantSeries("sched.run_ns", "tenant", tenant)),
+			modeledCtr: s.metrics.FloatCounter(obs.TenantSeries("sched.modeled_ns", "tenant", tenant)),
 		}
 		s.tenants[tenant] = ts
 	}

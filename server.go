@@ -3,7 +3,9 @@ package simdram
 import (
 	"context"
 	"sync"
+	"time"
 
+	"simdram/internal/ctrl"
 	"simdram/internal/graph"
 	"simdram/internal/obs"
 	"simdram/internal/sched"
@@ -62,6 +64,11 @@ type ServerConfig struct {
 	// EventDepth bounds how many error/eviction/recompile events the
 	// flight recorder retains. Defaults to 256.
 	EventDepth int
+	// SLOs declares latency objectives the server evaluates continuously
+	// against its windowed latency histograms, emitting burn-rate "slo"
+	// events into the flight recorder when one starts breaching. See the
+	// SLO type for the metric syntax; invalid SLOs fail NewServer.
+	SLOs []SLO
 }
 
 // DefaultServerConfig returns a server of n default-geometry channels
@@ -106,6 +113,18 @@ type Server struct {
 	metrics *obs.Registry
 	tracer  *obs.Tracer
 	rec     *obs.FlightRecorder
+
+	// Device telemetry: per-channel/bank/tenant resource attribution,
+	// windowed rates, and SLO tracking (see server_device.go). epoch
+	// anchors the monotonic telemetry clock; the pump goroutine samples
+	// the rings every telemetrySlice until Close.
+	dev      *deviceTelemetry
+	slos     []*sloTracker
+	epoch    time.Time
+	pumpStop chan struct{}
+	pumpDone chan struct{}
+
+	closeOnce sync.Once
 }
 
 // NewServer builds the channels and starts the scheduler's worker
@@ -156,6 +175,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		TenantQuota: cfg.TenantQuota,
 		Metrics:     s.metrics,
 	})
+	s.epoch = time.Now()
+	s.dev = newDeviceTelemetry(cfg.Channels, cl.Channel(0).mod.NumBanks(), s.metrics)
+	s.slos, err = newSLOTrackers(cfg.SLOs, s.metrics)
+	if err != nil {
+		s.sched.Close()
+		cl.Close()
+		return nil, err
+	}
+	s.pumpStop = make(chan struct{})
+	s.pumpDone = make(chan struct{})
+	go s.pump()
 	return s, nil
 }
 
@@ -163,8 +193,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 func (s *Server) Config() ServerConfig { return s.cfg }
 
 // Close stops admission, fails queued jobs with ErrServerClosed,
-// waits for running jobs, and releases every channel.
+// waits for running jobs, stops the telemetry pump, and releases every
+// channel.
 func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.pumpStop)
+		<-s.pumpDone
+	})
 	s.sched.Close()
 	s.cl.Close()
 }
@@ -253,11 +288,15 @@ func (s *Server) SubmitLazy(ctx context.Context, tenant string, exprs ...*Expr) 
 	qspan := tr.Begin("queue", 0)
 	t, err := s.sched.Submit(ctx, tenant, func(worker int, cancel <-chan struct{}) error {
 		tr.End(qspan)
-		err := s.runLazy(s.cl.Channel(worker), worker, cancel, exprs, res, tr)
+		at := s.dev.attrFor(worker)
+		runStart := time.Now()
+		err := s.runLazy(s.cl.Channel(worker), worker, cancel, exprs, res, tr, at)
 		if err == nil {
 			// Feed the executed batch's modeled DRAM time back into the
-			// scheduler's per-tenant accounting.
+			// scheduler's per-tenant accounting, and bill the device
+			// attribution to the tenant and the channel that ran it.
 			s.sched.Observe(tenant, res.Batch.CriticalPathNs)
+			s.dev.observeJob(tenant, worker, at, int64(time.Since(runStart)))
 		} else {
 			tr.SetErr(err.Error())
 			s.rec.Eventf("error", "tenant %s: %v", tenant, err)
@@ -290,11 +329,26 @@ func (s *Server) Submit(ctx context.Context, tenant string, fn func(sys *System,
 	t, err := s.sched.Submit(ctx, tenant, func(worker int, cancel <-chan struct{}) error {
 		tr.End(qspan)
 		espan := tr.BeginOn("execute", 0, worker)
-		err := fn(s.cl.Channel(worker), cancel)
+		// Raw jobs drive the System directly, so the finest attribution
+		// available is the channel unit's stats delta across the call —
+		// race-free because the worker owns the channel for the job's
+		// duration.
+		sys := s.cl.Channel(worker)
+		before := sys.cu.Stats
+		runStart := time.Now()
+		err := fn(sys, cancel)
+		wallNs := int64(time.Since(runStart))
 		tr.End(espan)
 		if err != nil {
 			tr.SetErr(err.Error())
 			s.rec.Eventf("error", "tenant %s: %v", tenant, err)
+		} else {
+			delta := sys.cu.Stats.Sub(before)
+			// BusyNs accumulates batch critical paths, the same modeled
+			// DRAM time lazy jobs feed back — keep both pipelines priced
+			// in the same unit.
+			s.sched.Observe(tenant, delta.BusyNs)
+			s.dev.observeRaw(tenant, worker, delta, wallNs)
 		}
 		s.tracer.Finish(tr)
 		return err
@@ -335,7 +389,7 @@ func checkServable(e *Expr, seen map[*Expr]bool) error {
 // everything. tr (nil when the job is unsampled) receives the
 // pipeline's span tree: compile{cache-lookup[, schedule], lower} →
 // prepare{resolve} → execute[worker]{run} → gather.
-func (s *Server) runLazy(sys *System, worker int, cancel <-chan struct{}, exprs []*Expr, res *JobResult, tr *obs.Trace) error {
+func (s *Server) runLazy(sys *System, worker int, cancel <-chan struct{}, exprs []*Expr, res *JobResult, tr *obs.Trace, at *ctrl.Attribution) error {
 	cspan := tr.Begin("compile", 0)
 	env, plan, cst, err := planExprs(sys, nil, CompileOptions{}, exprs, s.plans, s.profiles, tr, cspan)
 	if err != nil {
@@ -378,7 +432,7 @@ func (s *Server) runLazy(sys *System, worker int, cancel <-chan struct{}, exprs 
 		}
 		espan := tr.BeginOn("execute", 0, worker)
 		rspan := tr.BeginOn("run", espan, worker)
-		st, opNs, err := sys.runPrepared(pp, cancel)
+		st, opNs, err := sys.runPreparedAttr(pp, cancel, at)
 		tr.End(rspan)
 		tr.End(espan)
 		if err != nil {
@@ -417,6 +471,13 @@ type TenantServerStats struct {
 	// Utilization is the tenant's share of all execution time the
 	// server has performed so far (0 when nothing has run).
 	Utilization float64
+	// BilledNs/BilledEnergyPJ are the device-attribution pipeline's
+	// cumulative bills for the tenant (tenant.dram_ns / tenant.energy_pj
+	// series): modeled DRAM time and energy its jobs consumed. BilledNs
+	// tracks ModeledNs — the two are computed by independent pipelines
+	// and cross-checked by the -serve demo.
+	BilledNs       float64
+	BilledEnergyPJ float64
 	// Queue/Run latency quantiles from the tenant's log-scale
 	// histograms (sched.Ticket.QueueNs/RunNs observed per finished
 	// job): honest per-tenant tail latency, bounded relative error 1/8.
@@ -439,6 +500,10 @@ type ServerStats struct {
 	// profile-guided recompiles.
 	Profile ProfileStats
 	Tenants map[string]TenantServerStats
+	// Rates reports trailing jobs/sec, rejected/sec, and energy/sec over
+	// the 1s/10s/60s windows (zero until the telemetry pump has a
+	// baseline sample).
+	Rates []WindowRates
 }
 
 // CacheHitRate returns the plan cache's hit rate.
@@ -456,7 +521,9 @@ func (s *Server) Stats() ServerStats {
 		Cache:   cacheStats(s.plans),
 		Profile: profileStats(s.profiles),
 		Tenants: make(map[string]TenantServerStats, len(ss.Tenants)),
+		Rates:   s.dev.rates(s.nowNs(), ss.Completed, ss.Rejected),
 	}
+	bills := s.dev.snapshot().Tenants
 	var totalBusy int64
 	for _, ts := range ss.Tenants {
 		totalBusy += ts.BusyNs
@@ -473,6 +540,10 @@ func (s *Server) Stats() ServerStats {
 		}
 		if totalBusy > 0 {
 			t.Utilization = float64(ts.BusyNs) / float64(totalBusy)
+		}
+		if b, ok := bills[name]; ok {
+			t.BilledNs = b.DRAMNs
+			t.BilledEnergyPJ = b.EnergyPJ
 		}
 		st.Tenants[name] = t
 	}

@@ -2,8 +2,12 @@ package simdram
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 
 	"simdram/internal/obs"
 )
@@ -173,21 +177,37 @@ func (c *Cluster) Metrics() []MetricPoint {
 //	  "events":  []ObsEvent
 //	}
 //
+// A `?kind=metrics|traces|events` query serves just that section
+// (still as a one-key document, so consumers parse one shape). Only
+// GET and HEAD are allowed; other methods get 405, unknown kinds 400.
 // Mount it wherever the deployment exposes debug endpoints:
 //
 //	http.Handle("/debug/simdram", srv.DebugHandler())
 func (s *Server) DebugHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		doc := struct {
-			Stats   ServerStats   `json:"stats"`
-			Metrics []MetricPoint `json:"metrics"`
-			Traces  []JobTrace    `json:"traces"`
-			Events  []ObsEvent    `json:"events"`
-		}{
-			Stats:   s.Stats(),
-			Metrics: s.Metrics(),
-			Traces:  s.Traces(),
-			Events:  s.Events(),
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		doc := map[string]any{}
+		switch kind := r.URL.Query().Get("kind"); kind {
+		case "":
+			doc["stats"] = s.Stats()
+			doc["metrics"] = s.Metrics()
+			doc["traces"] = s.Traces()
+			doc["events"] = s.Events()
+		case "metrics":
+			doc["metrics"] = s.Metrics()
+		case "traces":
+			doc["traces"] = s.Traces()
+		case "events":
+			doc["events"] = s.Events()
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			http.Error(w, "unknown kind "+strconv.Quote(kind)+" (want metrics, traces, or events)", http.StatusBadRequest)
+			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -196,4 +216,118 @@ func (s *Server) DebugHandler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+}
+
+// MetricsHandler returns a Prometheus-style text exposition handler
+// for every registry series: counters and gauges as single samples,
+// histograms as summaries (quantile-labeled samples plus _sum and
+// _count). Series names map to metric families by replacing dots with
+// underscores under a "simdram_" prefix, and the registry's
+// base{label=value} convention becomes label syntax proper — e.g.
+// channel.busy_ns{channel=2} is exposed as
+//
+//	simdram_channel_busy_ns{channel="2"} 1.23e+06
+//
+// Mount it next to DebugHandler:
+//
+//	http.Handle("/metrics", srv.MetricsHandler())
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeExposition(w, s.Metrics())
+	})
+}
+
+// expoFamily groups the samples of one exposition metric family.
+type expoFamily struct {
+	name    string // simdram_-prefixed family name
+	kind    string // "counter", "gauge", or "summary"
+	samples []string
+}
+
+// expoName maps a registry base name to its exposition family name.
+func expoName(base string) string {
+	return "simdram_" + strings.ReplaceAll(base, ".", "_")
+}
+
+// expoLabels renders parsed label pairs (plus an optional extra pair)
+// in exposition syntax: {k1="v1",k2="v2"} or "" when empty.
+func expoLabels(labels [][2]string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(kv[1]))
+	}
+	if extraK != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(extraV))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func expoFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeExposition renders the metric points grouped into families, each
+// preceded by its # TYPE line, families and samples sorted by name.
+func writeExposition(w io.Writer, points []MetricPoint) {
+	fams := map[string]*expoFamily{}
+	order := []string{}
+	add := func(name, kind, sample string) {
+		f := fams[name]
+		if f == nil {
+			f = &expoFamily{name: name, kind: kind}
+			fams[name] = f
+			order = append(order, name)
+		}
+		f.samples = append(f.samples, sample)
+	}
+	for _, p := range points {
+		base, labels := obs.ParseSeries(p.Name)
+		name := expoName(base)
+		switch p.Kind {
+		case "histogram":
+			// Exposed as a summary: pre-extracted quantiles, exact sum
+			// and count.
+			for _, q := range [...]struct {
+				q string
+				v int64
+			}{{"0.5", p.P50}, {"0.9", p.P90}, {"0.99", p.P99}, {"0.999", p.P999}} {
+				add(name, "summary", name+expoLabels(labels, "quantile", q.q)+" "+strconv.FormatInt(q.v, 10))
+			}
+			add(name, "summary", name+"_sum"+expoLabels(labels, "", "")+" "+strconv.FormatInt(p.Sum, 10))
+			add(name, "summary", name+"_count"+expoLabels(labels, "", "")+" "+expoFloat(p.Value))
+		case "gauge":
+			add(name, "gauge", name+expoLabels(labels, "", "")+" "+expoFloat(p.Value))
+		default:
+			add(name, "counter", name+expoLabels(labels, "", "")+" "+expoFloat(p.Value))
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		f := fams[name]
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		sort.Strings(f.samples)
+		for _, s := range f.samples {
+			fmt.Fprintln(w, s)
+		}
+	}
 }
