@@ -33,6 +33,8 @@ func main() {
 	inflight := flag.Int("inflight", 4, "in-flight jobs per tenant for -serve")
 	channels := flag.Int("channels", 4, "cluster channels for -serve")
 	traceJobs := flag.Int("trace-jobs", 0, "print the span trees of the last N traced jobs after -serve")
+	tiers := flag.Bool("tiers", false, "with -serve, run the two-tier QoS overload demo (weighted shares, SLO isolation, deadline admission)")
+	tierWindow := flag.Duration("tier-window", 2*time.Second, "measurement window for -serve -tiers share accounting")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics (Prometheus exposition) and /debug/simdram (JSON) on this address during -serve")
 	telemetryHold := flag.Duration("telemetry-hold", 0, "keep the -telemetry-addr endpoint up this long after the -serve demo finishes (for scrapers)")
 	jsonPath := flag.String("json", "", "write machine-readable demo metrics to this file (for scripts/perfcheck)")
@@ -48,6 +50,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if *serve && *tiers {
+		runDemo(func() error {
+			return runServeTiersDemo(*inflight, *channels, *tierWindow, m)
+		})
+		return
 	}
 	if *serve {
 		runDemo(func() error {

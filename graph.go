@@ -373,24 +373,9 @@ func optsKey(opts CompileOptions) string {
 // per-job trace. Pass a nil trace (and any parent) when not tracing.
 func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr, cache *graph.PlanCache, profiles *graph.ProfileStore, tr *obs.Trace, parent int) (*compileEnv, *graph.Plan, CompileStats, error) {
 	var stats CompileStats
-	if len(exprs) == 0 {
-		return nil, nil, stats, errorf("graph: nothing to materialize")
-	}
-	env := &compileEnv{
-		sys: sys, cl: cl,
-		g:      graph.New(),
-		memo:   map[*Expr]graph.NodeID{},
-		leafOf: map[graph.NodeID]*Expr{},
-	}
-	for _, e := range exprs {
-		id, err := env.node(e)
-		if err != nil {
-			return nil, nil, stats, err
-		}
-		env.g.MarkRoot(id)
-	}
-	if env.first == nil {
-		return nil, nil, stats, errorf("graph: expression has no vector or data leaf, element count unknown (combine constants with at least one Lazy vector or Input data leaf)")
+	env, err := buildEnv(sys, cl, exprs)
+	if err != nil {
+		return nil, nil, stats, err
 	}
 	for id := 0; id < env.g.Len(); id++ {
 		if env.g.Node(graph.NodeID(id)).Kind == graph.KindOp {
@@ -460,6 +445,33 @@ func planExprs(sys *System, cl *Cluster, opts CompileOptions, exprs []*Expr, cac
 		}
 	}
 	return env, plan, stats, nil
+}
+
+// buildEnv constructs the IR graph from the expression trees — the
+// pure front half of planExprs, shared with admission-time cost
+// estimation (which needs the graph's canonical key and a makespan
+// estimate but must not touch the plan cache's statistics).
+func buildEnv(sys *System, cl *Cluster, exprs []*Expr) (*compileEnv, error) {
+	if len(exprs) == 0 {
+		return nil, errorf("graph: nothing to materialize")
+	}
+	env := &compileEnv{
+		sys: sys, cl: cl,
+		g:      graph.New(),
+		memo:   map[*Expr]graph.NodeID{},
+		leafOf: map[graph.NodeID]*Expr{},
+	}
+	for _, e := range exprs {
+		id, err := env.node(e)
+		if err != nil {
+			return nil, err
+		}
+		env.g.MarkRoot(id)
+	}
+	if env.first == nil {
+		return nil, errorf("graph: expression has no vector or data leaf, element count unknown (combine constants with at least one Lazy vector or Input data leaf)")
+	}
+	return env, nil
 }
 
 // planCfg returns the channel geometry scheduling costs come from.

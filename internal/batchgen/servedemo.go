@@ -20,12 +20,23 @@ type ServeRequest struct {
 
 // Submit sends the request through the server and waits for it.
 func (r *ServeRequest) Submit(ctx context.Context, srv *simdram.Server, tenant string) (*simdram.JobResult, error) {
-	fut, err := srv.SubmitLazy(ctx, tenant, r.exprs...)
+	return r.SubmitSpec(ctx, srv, simdram.JobSpec{Tenant: tenant})
+}
+
+// SubmitSpec sends the request through the server under the spec's
+// QoS tier/weight/deadline and waits for it.
+func (r *ServeRequest) SubmitSpec(ctx context.Context, srv *simdram.Server, spec simdram.JobSpec) (*simdram.JobResult, error) {
+	fut, err := srv.SubmitJob(ctx, spec, r.exprs...)
 	if err != nil {
 		return nil, err
 	}
 	return fut.Wait()
 }
+
+// Exprs returns the request's expressions for callers that submit
+// through the server themselves (e.g. to keep futures outstanding
+// without waiting inline).
+func (r *ServeRequest) Exprs() []*simdram.Expr { return r.exprs }
 
 // Verify checks the job's loaded values against the reference.
 func (r *ServeRequest) Verify(res *simdram.JobResult) error { return r.verify(res) }

@@ -147,6 +147,22 @@ func (c *PlanCache) Lookup(key string) *Plan {
 	return nil
 }
 
+// Peek returns the cached plan for key without counting a hit or
+// miss and without refreshing the entry's recency — a side-effect-free
+// read for callers (admission-time cost estimation) that must not
+// perturb the cache's hit-rate statistics or eviction order.
+func (c *PlanCache) Peek(key string) *Plan {
+	if c.disabled() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e.plan
+	}
+	return nil
+}
+
 // touch counts a hit on e and refreshes its recency. Caller holds mu.
 func (c *PlanCache) touch(e *entry) {
 	c.hits++

@@ -11,19 +11,41 @@ import (
 	"simdram/internal/sched"
 )
 
-// Admission errors a Server surfaces from Submit/SubmitLazy. Both are
-// immediate rejections — the job was never queued.
+// Admission errors a Server surfaces from SubmitJob/SubmitFn (and the
+// legacy Submit/SubmitLazy wrappers). All are immediate rejections —
+// the job was never queued — and arrive wrapped in an *AdmissionError
+// carrying the reason, tier, and admission-time estimate; errors.Is
+// against these sentinels keeps working unchanged.
 var (
 	// ErrQueueFull reports that the server's bounded job queue is at
-	// capacity.
+	// capacity (or that a tier's MaxQueueNs backlog bound shed the
+	// submission).
 	ErrQueueFull = sched.ErrQueueFull
 	// ErrTenantQuota reports that the submitting tenant already has its
 	// quota of queued plus running jobs.
 	ErrTenantQuota = sched.ErrTenantQuota
+	// ErrDeadlineInfeasible reports that a submission's deadline cannot
+	// be met at the current queue depth: estimated queue wait plus the
+	// job's modeled run time lands past the deadline, so the job was
+	// rejected at admission rather than queued to miss it.
+	ErrDeadlineInfeasible = sched.ErrDeadlineInfeasible
 	// ErrServerClosed reports submission to a closed server, or a job
 	// drained from the queue by Close.
 	ErrServerClosed = sched.ErrClosed
 )
+
+// AdmissionError is the typed rejection every admission failure
+// unwraps from: which rule fired (Reason), for whom (Tenant, Tier),
+// and what the scheduler believed at the moment it said no
+// (QueueDepth, EstimatedWaitNs, ModeledNs). Use errors.As to inspect
+// it, errors.Is against the sentinels above to branch on the reason.
+type AdmissionError = sched.AdmissionError
+
+// Tier declares one QoS class for ServerConfig.Tiers: Weight buys its
+// tenants a proportional share of dispatch, Priority orders tiers for
+// SLO-burn preemption of queued lower-tier work, and MaxQueueNs (when
+// positive) sheds submissions whose estimated queue wait exceeds it.
+type Tier = sched.Tier
 
 // ServerConfig configures a Server.
 type ServerConfig struct {
@@ -69,6 +91,12 @@ type ServerConfig struct {
 	// events into the flight recorder when one starts breaching. See the
 	// SLO type for the metric syntax; invalid SLOs fail NewServer.
 	SLOs []SLO
+	// Tiers declares the QoS classes submissions may name in
+	// JobSpec.Tier. An empty or undeclared tier resolves to the
+	// configured "default" tier if one exists, else to an implicit
+	// weight-1 priority-0 default. While a tier's SLOs are burning, its
+	// priority preempts queued work of strictly lower-priority tiers.
+	Tiers []Tier
 }
 
 // DefaultServerConfig returns a server of n default-geometry channels
@@ -124,6 +152,20 @@ type Server struct {
 	pumpStop chan struct{}
 	pumpDone chan struct{}
 
+	// tenantTier remembers which tier each tenant last submitted under,
+	// so the SLO evaluation loop can translate a breaching per-tenant
+	// SLO into a tier boost for the scheduler.
+	tierMu     sync.Mutex
+	tenantTier map[string]string
+
+	// estCache memoizes admission-pricing makespans per plan-cache key,
+	// invalidated by plan identity (a profile-guided recompile swaps the
+	// plan and forces a reprice). Without it every submission of a hot
+	// shape re-walks the plan's schedule, which is slow enough to become
+	// the submission bottleneck for high-rate tenants.
+	estMu    sync.Mutex
+	estCache map[string]estEntry
+
 	closeOnce sync.Once
 }
 
@@ -156,11 +198,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.EventDepth = 256
 	}
 	s := &Server{
-		cfg:      cfg,
-		cl:       cl,
-		plans:    graph.NewPlanCache(cfg.PlanCacheSize),
-		profiles: graph.NewProfileStore(cfg.ProfileThreshold, cfg.ProfileMinJobs, 4*cfg.PlanCacheSize),
-		metrics:  obs.NewRegistry(),
+		cfg:        cfg,
+		cl:         cl,
+		plans:      graph.NewPlanCache(cfg.PlanCacheSize),
+		profiles:   graph.NewProfileStore(cfg.ProfileThreshold, cfg.ProfileMinJobs, 4*cfg.PlanCacheSize),
+		metrics:    obs.NewRegistry(),
+		tenantTier: map[string]string{},
+		estCache:   map[string]estEntry{},
 	}
 	s.rec = obs.NewFlightRecorder(cfg.TraceDepth, cfg.EventDepth)
 	s.tracer = obs.NewTracer(cfg.TraceSampling, s.rec)
@@ -173,6 +217,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Workers:     cfg.Channels,
 		QueueDepth:  cfg.QueueDepth,
 		TenantQuota: cfg.TenantQuota,
+		Tiers:       cfg.Tiers,
 		Metrics:     s.metrics,
 	})
 	s.epoch = time.Now()
@@ -204,6 +249,38 @@ func (s *Server) Close() {
 	s.cl.Close()
 }
 
+// JobSpec carries a submission's QoS intent: who is submitting, under
+// which declared tier, with what optional deadline and weight
+// override. The zero value plus Tenant reproduces the legacy
+// Submit/SubmitLazy behavior (default tier, no deadline).
+type JobSpec struct {
+	// Tenant identifies the submitter for fairness, quota, quantiles,
+	// and billing.
+	Tenant string
+	// Tier names a ServerConfig.Tiers entry; empty or undeclared
+	// resolves to the configured "default" tier, else an implicit
+	// weight-1 default.
+	Tier string
+	// Deadline, when set, makes admission reject the job with
+	// ErrDeadlineInfeasible if estimated queue wait plus modeled run
+	// time cannot meet it — the job is never queued just to miss it.
+	Deadline time.Time
+	// Weight, when positive, overrides the tier's dispatch weight for
+	// this tenant from this submission on.
+	Weight float64
+}
+
+// AdmissionEstimate is what admission predicted for a job, surfaced in
+// JobResult so callers can audit predicted against actual latency.
+type AdmissionEstimate struct {
+	// EstimatedWaitNs is the queue wait admission predicted (compare
+	// with JobResult.QueueNs); ModeledNs the modeled run cost the job
+	// was priced with — the exact cached-plan makespan on a plan-cache
+	// hit, the static cost model's estimate on a cold shape.
+	EstimatedWaitNs int64
+	ModeledNs       float64
+}
+
 // JobResult is what a completed lazy job produced.
 type JobResult struct {
 	// Values holds one loaded result slice per submitted root
@@ -223,6 +300,9 @@ type JobResult struct {
 	// TraceID identifies this job's span tree in Server.Traces() when
 	// the job was sampled for tracing; 0 when it was not.
 	TraceID uint64
+	// Admission is what admission control predicted for this job at
+	// submission time.
+	Admission AdmissionEstimate
 }
 
 // Future is the caller's handle on a submitted job.
@@ -252,18 +332,23 @@ func (f *Future) Wait() (*JobResult, error) {
 	return f.res, nil
 }
 
-// SubmitLazy enqueues the expressions as one job for the tenant: on
-// whichever channel comes free, the graph compiles (or reuses a
-// cached plan), Input payloads are stored, the batch executes, and
-// every root's value is loaded into the JobResult. All storage the
-// job touched is released before the future resolves — nothing
-// outlives the request, which is what lets millions of requests
-// stream through a fixed set of channels.
+// SubmitJob enqueues the expressions as one job under the spec's QoS
+// intent: on whichever channel comes free, the graph compiles (or
+// reuses a cached plan), Input payloads are stored, the batch
+// executes, and every root's value is loaded into the JobResult. All
+// storage the job touched is released before the future resolves —
+// nothing outlives the request, which is what lets millions of
+// requests stream through a fixed set of channels.
 //
-// SubmitLazy never blocks on a full queue; it fails immediately with
-// ErrQueueFull, ErrTenantQuota, or the context's error. ctx may be
-// nil (never cancels).
-func (s *Server) SubmitLazy(ctx context.Context, tenant string, exprs ...*Expr) (*Future, error) {
+// Admission prices the job before queueing it: the expression graph's
+// modeled critical path (exact scheduled makespan on a plan-cache
+// hit, static cost model on a cold shape) feeds the scheduler's
+// deadline and tier-backlog checks, and the resulting estimate is
+// surfaced in JobResult.Admission. SubmitJob never blocks on a full
+// queue; it fails immediately with a typed *AdmissionError (wrapping
+// ErrQueueFull, ErrTenantQuota, or ErrDeadlineInfeasible) or the
+// context's error. ctx may be nil (never cancels).
+func (s *Server) SubmitJob(ctx context.Context, spec JobSpec, exprs ...*Expr) (*Future, error) {
 	if len(exprs) == 0 {
 		return nil, errorf("server: nothing to submit")
 	}
@@ -273,6 +358,12 @@ func (s *Server) SubmitLazy(ctx context.Context, tenant string, exprs ...*Expr) 
 			return nil, err
 		}
 	}
+	// Best-effort pricing: a malformed expression (e.g. element-count
+	// mismatch) keeps its contract of failing the future at run time —
+	// it is admitted unpriced and rejected by the compiler as before.
+	modeled, _ := s.estimateModeledNs(exprs)
+	tenant := spec.Tenant
+	s.noteTier(spec)
 	res := &JobResult{}
 	// A sampled job carries a trace whose root "job" span opened here at
 	// admission; the queue span closes when a worker picks the job up,
@@ -286,7 +377,10 @@ func (s *Server) SubmitLazy(ctx context.Context, tenant string, exprs ...*Expr) 
 		res.TraceID = tr.ID
 	}
 	qspan := tr.Begin("queue", 0)
-	t, err := s.sched.Submit(ctx, tenant, func(worker int, cancel <-chan struct{}) error {
+	t, err := s.sched.SubmitRequest(ctx, sched.Request{
+		Tenant: tenant, Tier: spec.Tier, Weight: spec.Weight,
+		Deadline: spec.Deadline, ModeledNs: modeled,
+	}, func(worker int, cancel <-chan struct{}) error {
 		tr.End(qspan)
 		at := s.dev.attrFor(worker)
 		runStart := time.Now()
@@ -307,26 +401,43 @@ func (s *Server) SubmitLazy(ctx context.Context, tenant string, exprs ...*Expr) 
 	if err != nil {
 		return nil, err
 	}
+	res.Admission = AdmissionEstimate{EstimatedWaitNs: t.EstimatedWaitNs(), ModeledNs: t.ModeledNs()}
 	return &Future{t: t, res: res}, nil
 }
 
-// Submit enqueues a raw job: fn runs with exclusive use of one
-// channel's System and the scheduler's cancellation signal (closed
-// when ctx expires). It is the escape hatch for work the expression
-// graph cannot phrase — multi-batch kernels, fault injection,
-// experiments — under the same admission control and fairness as lazy
-// jobs. fn must release every vector it allocates before returning.
-func (s *Server) Submit(ctx context.Context, tenant string, fn func(sys *System, cancel <-chan struct{}) error) (*Future, error) {
+// SubmitLazy enqueues the expressions as one job for the tenant under
+// the default tier with no deadline.
+//
+// Deprecated: use SubmitJob with a JobSpec — this wrapper builds
+// JobSpec{Tenant: tenant} and is retained for compatibility.
+func (s *Server) SubmitLazy(ctx context.Context, tenant string, exprs ...*Expr) (*Future, error) {
+	return s.SubmitJob(ctx, JobSpec{Tenant: tenant}, exprs...)
+}
+
+// SubmitFn enqueues a raw job under the spec's QoS intent: fn runs
+// with exclusive use of one channel's System and the scheduler's
+// cancellation signal (closed when ctx expires). It is the escape
+// hatch for work the expression graph cannot phrase — multi-batch
+// kernels, fault injection, experiments — under the same admission
+// control and fairness as lazy jobs. Raw jobs carry no modeled cost
+// estimate, so a deadline is checked against the estimated queue wait
+// plus the scheduler's trailing average job cost. fn must release
+// every vector it allocates before returning.
+func (s *Server) SubmitFn(ctx context.Context, spec JobSpec, fn func(sys *System, cancel <-chan struct{}) error) (*Future, error) {
 	if fn == nil {
 		return nil, errorf("server: nil job")
 	}
+	tenant := spec.Tenant
+	s.noteTier(spec)
 	res := &JobResult{}
 	tr := s.tracer.Start()
 	if tr != nil {
 		res.TraceID = tr.ID
 	}
 	qspan := tr.Begin("queue", 0)
-	t, err := s.sched.Submit(ctx, tenant, func(worker int, cancel <-chan struct{}) error {
+	t, err := s.sched.SubmitRequest(ctx, sched.Request{
+		Tenant: tenant, Tier: spec.Tier, Weight: spec.Weight, Deadline: spec.Deadline,
+	}, func(worker int, cancel <-chan struct{}) error {
 		tr.End(qspan)
 		espan := tr.BeginOn("execute", 0, worker)
 		// Raw jobs drive the System directly, so the finest attribution
@@ -356,7 +467,104 @@ func (s *Server) Submit(ctx context.Context, tenant string, fn func(sys *System,
 	if err != nil {
 		return nil, err
 	}
+	res.Admission = AdmissionEstimate{EstimatedWaitNs: t.EstimatedWaitNs(), ModeledNs: t.ModeledNs()}
 	return &Future{t: t, res: res}, nil
+}
+
+// Submit enqueues a raw job for the tenant under the default tier
+// with no deadline.
+//
+// Deprecated: use SubmitFn with a JobSpec — this wrapper builds
+// JobSpec{Tenant: tenant} and is retained for compatibility.
+func (s *Server) Submit(ctx context.Context, tenant string, fn func(sys *System, cancel <-chan struct{}) error) (*Future, error) {
+	return s.SubmitFn(ctx, JobSpec{Tenant: tenant}, fn)
+}
+
+// estimateModeledNs prices a lazy submission before it is queued: the
+// expression graph is built (no passes run), and its canonical key
+// probes the plan cache without perturbing hit-rate or recency
+// (PlanCache.Peek). A hit prices the job at the cached plan's
+// scheduled makespan — exact for the plan that will actually run; a
+// cold shape falls back to the makespan of the unoptimized graph in
+// program order under the static cost model. Either way the cost
+// model is upgraded to observed per-op latencies once the shape's
+// profile has enough jobs (ProfileStore.ScheduleCost).
+func (s *Server) estimateModeledNs(exprs []*Expr) (float64, error) {
+	sys := s.cl.Channel(0)
+	env, err := buildEnv(sys, nil, exprs)
+	if err != nil {
+		return 0, err
+	}
+	key := optsKey(CompileOptions{}) + env.g.CanonicalKey()
+	cfg := planCfg(sys, nil)
+	plan := s.plans.Peek(key)
+	if plan != nil {
+		s.estMu.Lock()
+		if e, ok := s.estCache[key]; ok && e.plan == plan {
+			s.estMu.Unlock()
+			return e.ns, nil
+		}
+		s.estMu.Unlock()
+	}
+	cost := s.profiles.ScheduleCost(key, modelCost(cfg))
+	if plan == nil {
+		return env.g.EstimateMakespanNs(env.g.ProgramOrder(), cost, cfg.DRAM.Banks), nil
+	}
+	ns := plan.Graph.EstimateMakespanNs(plan.Sched, cost, cfg.DRAM.Banks)
+	s.estMu.Lock()
+	if len(s.estCache) >= estCacheCap {
+		s.estCache = map[string]estEntry{}
+	}
+	s.estCache[key] = estEntry{plan: plan, ns: ns}
+	s.estMu.Unlock()
+	return ns, nil
+}
+
+// estEntry is one memoized admission price (see Server.estCache).
+type estEntry struct {
+	plan *graph.Plan
+	ns   float64
+}
+
+// estCacheCap bounds the estimate memo; at the cap the whole memo is
+// dropped and rebuilt (it repopulates in one submission per hot shape).
+const estCacheCap = 1024
+
+// noteTier remembers the tenant's tier assignment for the SLO
+// evaluation loop (which boosts a breaching tenant's tier).
+func (s *Server) noteTier(spec JobSpec) {
+	tier := sched.ResolveTier(s.cfg.Tiers, spec.Tier)
+	s.tierMu.Lock()
+	s.tenantTier[spec.Tenant] = tier.Name
+	// Unbounded tenant cardinality must not grow this map without
+	// bound (same rationale as sched's tenant-state cap); an evicted
+	// tenant that returns is simply re-noted on its next submission.
+	if len(s.tenantTier) > 2*tenantTierCap {
+		for name := range s.tenantTier {
+			if name == spec.Tenant {
+				continue
+			}
+			delete(s.tenantTier, name)
+			if len(s.tenantTier) <= tenantTierCap {
+				break
+			}
+		}
+	}
+	s.tierMu.Unlock()
+}
+
+// tenantTierCap bounds the tenant→tier memory (see noteTier).
+const tenantTierCap = 4096
+
+// tierOfTenant returns the tier the tenant last submitted under (the
+// default tier name for tenants never seen).
+func (s *Server) tierOfTenant(tenant string) string {
+	s.tierMu.Lock()
+	defer s.tierMu.Unlock()
+	if t, ok := s.tenantTier[tenant]; ok {
+		return t
+	}
+	return sched.DefaultTierName
 }
 
 // checkServable rejects expressions bound to pre-allocated storage:
@@ -486,6 +694,36 @@ type TenantServerStats struct {
 	RunP50Ns, RunP99Ns, RunP999Ns       int64
 }
 
+// TierServerStats is one QoS tier's serving counters: the scheduler's
+// per-tier dispatch/rejection/preemption counts, latency quantiles
+// merged bucket-wise across the tier's member tenants, and the tier's
+// achieved share of all modeled DRAM time the device has executed —
+// the number to compare against the configured weight ratio.
+type TierServerStats struct {
+	Weight   float64
+	Priority int
+	// Tenants is how many tenants currently resolve to this tier.
+	Tenants         int
+	Queued, Running int
+	// Dispatched counts jobs dispatched for this tier's tenants;
+	// Rejected its admission rejections (all reasons); DeadlineRejects
+	// the subset rejected with ErrDeadlineInfeasible; Preempts
+	// dispatches the tier took past queued lower-priority work while
+	// its SLO burn was active.
+	Dispatched, Rejected, DeadlineRejects, Preempts uint64
+	// ModeledNs is the cumulative modeled DRAM time charged to the
+	// tier at dispatch; ShareOfDevice its fraction of the modeled time
+	// all tiers consumed (0 when nothing has run).
+	ModeledNs     float64
+	ShareOfDevice float64
+	// Merged queue/run latency quantiles over the tier's tenants.
+	// When every tenant shares one tier these equal the
+	// whole-population quantiles exactly (same observations, same
+	// bucket arithmetic).
+	QueueP50Ns, QueueP99Ns, QueueP999Ns int64
+	RunP50Ns, RunP99Ns, RunP999Ns       int64
+}
+
 // ServerStats is a point-in-time snapshot of the serving layer.
 type ServerStats struct {
 	Channels int
@@ -500,6 +738,9 @@ type ServerStats struct {
 	// profile-guided recompiles.
 	Profile ProfileStats
 	Tenants map[string]TenantServerStats
+	// Tiers holds one entry per declared QoS tier (plus any tier that
+	// has seen traffic, including the implicit default).
+	Tiers map[string]TierServerStats
 	// Rates reports trailing jobs/sec, rejected/sec, and energy/sec over
 	// the 1s/10s/60s windows (zero until the telemetry pump has a
 	// baseline sample).
@@ -521,7 +762,27 @@ func (s *Server) Stats() ServerStats {
 		Cache:   cacheStats(s.plans),
 		Profile: profileStats(s.profiles),
 		Tenants: make(map[string]TenantServerStats, len(ss.Tenants)),
+		Tiers:   make(map[string]TierServerStats, len(ss.Tiers)),
 		Rates:   s.dev.rates(s.nowNs(), ss.Completed, ss.Rejected),
+	}
+	var totalTierModeled float64
+	for _, ts := range ss.Tiers {
+		totalTierModeled += ts.ModeledNs
+	}
+	for name, ts := range ss.Tiers {
+		t := TierServerStats{
+			Weight: ts.Weight, Priority: ts.Priority, Tenants: ts.Tenants,
+			Queued: ts.Queued, Running: ts.Running,
+			Dispatched: ts.Dispatched, Rejected: ts.Rejected,
+			DeadlineRejects: ts.DeadlineRejects, Preempts: ts.Preempts,
+			ModeledNs:  ts.ModeledNs,
+			QueueP50Ns: ts.QueueP50Ns, QueueP99Ns: ts.QueueP99Ns, QueueP999Ns: ts.QueueP999Ns,
+			RunP50Ns: ts.RunP50Ns, RunP99Ns: ts.RunP99Ns, RunP999Ns: ts.RunP999Ns,
+		}
+		if totalTierModeled > 0 {
+			t.ShareOfDevice = ts.ModeledNs / totalTierModeled
+		}
+		st.Tiers[name] = t
 	}
 	bills := s.dev.snapshot().Tenants
 	var totalBusy int64

@@ -450,6 +450,17 @@ func (s *Server) evalSLOs(nowNs int64) []SLOStatus {
 		}
 		out = append(out, st)
 	}
+	// Translate breaching per-tenant SLOs into a tier boost: while a
+	// tier's SLO burn is active the scheduler preempts queued work of
+	// strictly lower-priority tiers in its favor. A wildcard SLO (no
+	// tenant) breaching boosts nothing — there is no tier to favor.
+	boost := map[string]bool{}
+	for _, st := range out {
+		if st.Breaching && st.SLO.Tenant != "" {
+			boost[s.tierOfTenant(st.SLO.Tenant)] = true
+		}
+	}
+	s.sched.SetBoost(boost)
 	return out
 }
 
