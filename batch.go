@@ -186,6 +186,9 @@ func (s *System) prepareProgramTraced(prog isa.Program, tr *obs.Trace, parent in
 		return nil, err
 	}
 	deps := prog.Deps()
+	if err := s.maybeVerify(prog, deps, nil); err != nil {
+		return nil, err
+	}
 	jobs := make([]ctrl.Job, 0, len(prog))
 	pp := &preparedProgram{jobOf: make([]int, len(prog)), nInstr: len(prog)}
 	bound := map[uint16]bool{}

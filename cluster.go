@@ -2,6 +2,7 @@ package simdram
 
 import (
 	"strconv"
+	"sync/atomic"
 
 	"simdram/internal/cluster"
 	"simdram/internal/ctrl"
@@ -81,6 +82,12 @@ type Cluster struct {
 	dispatch []*obs.Histogram
 	energy   []*obs.FloatCounter
 	commands []*obs.Counter
+
+	// verifyPlans gates the static IR verifier on cluster-compiled
+	// programs; verified counts the cluster-wide programs that passed
+	// (per-channel sub-programs are counted by each channel's System).
+	verifyPlans bool
+	verified    atomic.Int64
 }
 
 // NewCluster builds a cluster of cfg.Channels independent channels.
@@ -135,6 +142,29 @@ func (c *Cluster) Channels() int { return len(c.channels) }
 // injection). Mutating a channel's allocations directly can starve the
 // cluster's own vectors; use with care.
 func (c *Cluster) Channel(i int) *System { return c.channels[i] }
+
+// SetVerifyPlans gates the static IR verifier cluster-wide: the
+// cluster compiler checks every lowered program against its handle
+// table, and each channel's System additionally verifies the
+// per-channel sub-programs it prepares (see System.SetVerifyPlans).
+// Do not toggle while operations are executing.
+func (c *Cluster) SetVerifyPlans(on bool) {
+	c.verifyPlans = on
+	for _, sys := range c.channels {
+		sys.SetVerifyPlans(on)
+	}
+}
+
+// VerifiedPlans returns how many programs the IR verifier has checked
+// and passed across the cluster: cluster-wide compiled programs plus
+// every channel's prepared sub-programs.
+func (c *Cluster) VerifiedPlans() int64 {
+	total := c.verified.Load()
+	for _, sys := range c.channels {
+		total += sys.VerifiedPlans()
+	}
+	return total
+}
 
 // Close releases every channel's worker pool.
 func (c *Cluster) Close() {

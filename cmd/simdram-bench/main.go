@@ -209,6 +209,9 @@ func runGraphDemo(m metrics) error {
 		return err
 	}
 	defer sys.Close()
+	// Run the demo with the IR verifier on every compiled plan: the
+	// demo doubles as an end-to-end check that real workloads verify.
+	sys.SetVerifyPlans(true)
 	roots, err := batchgen.GraphExprs(sys, 1)
 	if err != nil {
 		return err
@@ -289,6 +292,7 @@ func runGraphDemo(m metrics) error {
 	m["graph.instructions"] = float64(ost.Instructions)
 	m["graph.cse_eliminated"] = float64(ost.CSEEliminated)
 	m["graph.speedup_modeled"] = serialBusyNs / bst.CriticalPathNs
+	m["verify.plans_checked"] = float64(sys.VerifiedPlans())
 	if err := reportHostPerf(m, "host."); err != nil {
 		return err
 	}

@@ -67,6 +67,8 @@ func runServeDemo(tenants, jobs, inflight, channels, traceJobs int, telemetryAdd
 	// below walks all of them.
 	cfg.TraceSampling = 1.0
 	cfg.TraceDepth = tenants*jobs + 16
+	// Verify every compiled plan before it is published to the cache.
+	cfg.VerifyPlans = true
 	srv, err := simdram.NewServer(cfg)
 	if err != nil {
 		return err
@@ -418,6 +420,7 @@ func runServeDemo(tenants, jobs, inflight, channels, traceJobs int, telemetryAdd
 	// steady-state shape mix fixes the attributed energy per job.
 	m["serve.energy_pj_per_job"] = steadyEnergy / float64(total)
 	m["serve.slo_burn_events"] = float64(sloEvents)
+	m["verify.plans_checked"] = float64(srv.VerifiedPlans())
 	// Informational only: the gated host.* keys come from the -graph
 	// demo's JSON (perfcheck merges files last-write-wins).
 	if err := reportHostPerf(m, "serve.host_"); err != nil {

@@ -1,0 +1,126 @@
+// Command simdramlint runs the repo's custom static analyses — the
+// //simdram:zeroalloc hot-path allocation checker and the
+// //simdram:nilsafe observability nil-contract checker — over
+// module-local packages. It loads and type-checks everything from
+// source with only the standard library, so it runs in the same
+// offline sandbox as the tests.
+//
+// Usage:
+//
+//	go run ./cmd/simdramlint [packages]
+//
+// Package arguments are directories, optionally ending in /... to
+// recurse (default ./...). Findings print as
+// path:line:col: [analyzer] message; any finding exits nonzero.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"go/build"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"simdram/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simdramlint [dir|dir/...]...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "simdramlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dirs, err := expand(args)
+	if err != nil {
+		return err
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		return err
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	var findings []lint.Finding
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			var noGo *build.NoGoError
+			if errors.As(err, &noGo) {
+				continue // directory holds no buildable Go files
+			}
+			return err
+		}
+		fs, err := lint.Run(pkg, lint.All())
+		if err != nil {
+			return err
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// expand resolves the directory arguments, recursing under /...
+// patterns while skipping testdata (analyzer fixtures contain seeded
+// violations), hidden directories, and vendor trees.
+func expand(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		clean := filepath.Clean(dir)
+		if !seen[clean] {
+			seen[clean] = true
+			dirs = append(dirs, clean)
+		}
+	}
+	for _, arg := range args {
+		pattern, recursive := strings.CutSuffix(arg, "/...")
+		if pattern == "" {
+			pattern = "."
+		}
+		if !recursive {
+			add(pattern)
+			continue
+		}
+		err := filepath.WalkDir(pattern, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if name == "testdata" || name == "vendor" || (strings.HasPrefix(name, ".") && path != pattern) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -548,6 +548,12 @@ type lowered struct {
 	prog    isa.Program
 	temps   []graphObj // pooled slots and constant splats
 	results []compiledResult
+	// defined records, per handle the program references, whether its
+	// object holds data before the program runs (stored inputs and
+	// splatted constants do; pooled slots and op-root results are
+	// written by the program itself). The IR verifier consumes this for
+	// its def-before-use check.
+	defined map[uint16]bool
 }
 
 type compiledResult struct {
@@ -715,6 +721,25 @@ func lowerPlan(env *compileEnv, plan *graph.Plan, exprs []*Expr,
 			return slotObj[slot].Handle(), nil
 		}
 	}
+	lw.defined = map[uint16]bool{}
+	for _, o := range slotObj {
+		lw.defined[o.Handle()] = false
+	}
+	for _, o := range inputObj {
+		lw.defined[o.Handle()] = true // caller vector or stored data leaf
+	}
+	for _, o := range constObj {
+		lw.defined[o.Handle()] = true // splat-stored before execution
+	}
+	for rid, o := range rootObj {
+		switch g.Node(rid).Kind {
+		case graph.KindConst, graph.KindInput:
+			lw.defined[o.Handle()] = true // splat-stored / stored data leaf
+		default:
+			lw.defined[o.Handle()] = false // op root: the program writes it
+		}
+	}
+
 	prog, err := graph.Lower(g, plan.Sched, handle, uint32(n))
 	if err != nil {
 		return fail(err)
@@ -835,6 +860,11 @@ func (s *System) CompileWith(opts CompileOptions, exprs ...*Expr) (*Compiled, er
 		leafDataOf(env),
 	)
 	if err != nil {
+		return nil, err
+	}
+	if err := s.verifyLowered(lw); err != nil {
+		lw.freeTemps()
+		lw.discardResults()
 		return nil, err
 	}
 	lw.publish()

@@ -83,6 +83,11 @@ func (c *Cluster) CompileWith(opts CompileOptions, exprs ...*Expr) (*ClusterComp
 	if err != nil {
 		return nil, err
 	}
+	if err := c.verifyLowered(lw); err != nil {
+		lw.freeTemps()
+		lw.discardResults()
+		return nil, err
+	}
 	lw.publish()
 	return &ClusterCompiled{cl: c, lw: lw, stats: stats, fb: feedbackFor(c.profiles, env, plan, opts, c.cfg.Channel)}, nil
 }

@@ -118,6 +118,7 @@ func buildRandomDAG(rng *rand.Rand, leaves []*Expr, width, nOps int) []*Expr {
 func TestGraphDifferentialRandomDAG(t *testing.T) {
 	sys := testGraphSystem(t)
 	defer sys.Close()
+	sys.SetVerifyPlans(true) // every plan in the differential must verify clean
 	rng := rand.New(rand.NewSource(7))
 	const n, width = 300, 16 // two segments: exercises multi-subarray lowering
 
@@ -197,6 +198,9 @@ func TestGraphDifferentialRandomDAG(t *testing.T) {
 	if got := sys.usedRows(); got != baseRows {
 		t.Fatalf("optimized cleanup leaked rows: %d used, want %d", got, baseRows)
 	}
+	if got := sys.VerifiedPlans(); got == 0 {
+		t.Fatal("verification was on but no plan was checked")
+	}
 }
 
 // TestGraphDifferentialCluster runs the same differential on a
@@ -205,6 +209,7 @@ func TestGraphDifferentialRandomDAG(t *testing.T) {
 func TestGraphDifferentialCluster(t *testing.T) {
 	c := testGraphCluster(t, 4)
 	defer c.Close()
+	c.SetVerifyPlans(true) // every plan in the differential must verify clean
 	rng := rand.New(rand.NewSource(11))
 	const n, width = 256, 16 // one 64-lane segment per channel
 
@@ -265,6 +270,7 @@ func TestGraphDifferentialCluster(t *testing.T) {
 func TestGraphEveryOpDifferential(t *testing.T) {
 	sys := testGraphSystem(t)
 	defer sys.Close()
+	sys.SetVerifyPlans(true) // every lowered catalog op must verify clean
 	rng := rand.New(rand.NewSource(3))
 	const n, width = 64, 8
 	for _, d := range ops.Catalog() {

@@ -284,7 +284,21 @@ func (u *Unit) Prepare(jobs []Job) (*Prepared, error) {
 		return nil, err
 	}
 	pb := &Prepared{jobs: jobs, pl: pl, interp: u.interpretive()}
-	if !pb.interp {
+	eager := u.verifyPlans()
+	if pb.interp {
+		// Interpretive batches resolve per run, so an eager Prepare
+		// validates each binding against the μProgram and geometry the
+		// same way uprog.Run will.
+		if eager {
+			for i, job := range jobs {
+				for _, seg := range job.Segments {
+					if err := seg.Binding.Validate(job.Program, u.mod.Config()); err != nil {
+						return nil, fmt.Errorf("ctrl: job %d: bank %d subarray %d: %w", i, seg.Bank, seg.Sub, err)
+					}
+				}
+			}
+		}
+	} else {
 		pb.streams = make([][][]segStream, len(jobs))
 		for i := range jobs {
 			groups := pl.groups[i]
@@ -294,7 +308,11 @@ func (u *Unit) Prepare(jobs []Job) (*Prepared, error) {
 				for si, seg := range group {
 					st, err := u.resolvedStream(jobs[i].Program, seg.Binding)
 					if err != nil {
-						ss[si] = segStream{err: fmt.Errorf("ctrl: bank %d subarray %d: %w", seg.Bank, seg.Sub, err)}
+						err = fmt.Errorf("ctrl: bank %d subarray %d: %w", seg.Bank, seg.Sub, err)
+						if eager {
+							return nil, fmt.Errorf("ctrl: job %d: %w", i, err)
+						}
+						ss[si] = segStream{err: err}
 						continue
 					}
 					ss[si] = segStream{stream: st}
@@ -379,6 +397,8 @@ func (u *Unit) ExecutePrepared(pb *Prepared, cancel <-chan struct{}) (BatchStats
 // or canceled run bills nothing (its partial DRAM effects are not
 // attributed, matching the error contract that stats are not
 // returned).
+//
+//simdram:zeroalloc
 func (u *Unit) ExecutePreparedAttr(pb *Prepared, cancel <-chan struct{}, at *Attribution) (BatchStats, []float64, error) {
 	jobs, pl := pb.jobs, pb.pl
 	n := len(jobs)
@@ -394,7 +414,7 @@ func (u *Unit) ExecutePreparedAttr(pb *Prepared, cancel <-chan struct{}, at *Att
 	ready := pb.ready[:0]
 	for i := range jobs {
 		if pb.indeg[i] == 0 {
-			ready = append(ready, i)
+			ready = append(ready, i) //simdram:prealloc pb.ready holds every job
 		}
 	}
 	var failures []error
@@ -424,7 +444,7 @@ func (u *Unit) ExecutePreparedAttr(pb *Prepared, cancel <-chan struct{}, at *Att
 		r := <-pb.results
 		inflight--
 		if r.err != nil {
-			failures = append(failures, r.err)
+			failures = append(failures, r.err) //simdram:coldpath failed batch
 		}
 		energyPJ += r.energyPJ
 		pb.bankEnergy[r.bank] += r.energyPJ
@@ -434,12 +454,13 @@ func (u *Unit) ExecutePreparedAttr(pb *Prepared, cancel <-chan struct{}, at *Att
 			for _, s := range pb.succs[r.job] {
 				pb.indeg[s]--
 				if pb.indeg[s] == 0 {
-					ready = append(ready, s)
+					ready = append(ready, s) //simdram:prealloc pb.ready holds every job
 				}
 			}
 		}
 	}
 	if canceled && doneJobs < n {
+		//simdram:coldpath canceled batch
 		failures = append(failures, fmt.Errorf("%w: %d of %d instructions completed", ErrCanceled, doneJobs, n))
 	}
 	if err := errors.Join(failures...); err != nil {

@@ -155,6 +155,8 @@ func (s *Subarray) ReadRow(row int) []uint64 {
 // ReadRowInto is ReadRow into caller-provided storage — the
 // allocation-free variant bulk gather paths reuse one buffer with. dst
 // must hold exactly WordsPerRow words.
+//
+//simdram:zeroalloc
 func (s *Subarray) ReadRowInto(row int, dst []uint64) {
 	s.checkRow(row)
 	if len(dst) != s.cfg.WordsPerRow() {
@@ -229,6 +231,8 @@ func (s *Subarray) storeRow(row int, data []uint64) {
 // the source row into every destination row. Destinations must either be
 // a single row anywhere or a group of 2-3 rows inside the compute region
 // (the special row decoder only supports multi-activation there).
+//
+//simdram:zeroalloc
 func (s *Subarray) AAP(src int, dsts ...int) {
 	s.checkRow(src)
 	if len(dsts) == 0 || len(dsts) > 3 {
@@ -267,6 +271,8 @@ func (s *Subarray) AAP(src int, dsts ...int) {
 // rows charge-share on the bitlines, the sense amplifiers resolve the
 // bitwise majority, and the restored value is written back into all three
 // rows. All rows must be T rows of the compute region.
+//
+//simdram:zeroalloc
 func (s *Subarray) AP(r0, r1, r2 int) {
 	for _, r := range [3]int{r0, r1, r2} {
 		if r < s.cfg.DataRows() || r >= s.cfg.DataRows()+s.cfg.NumTRows {
@@ -308,6 +314,8 @@ func majRestoreInto(a, b, c, out []uint64) {
 // row-buffer value), then PRECHARGE. This is the 4th AAP of Ambit's
 // canonical AND/OR sequence (AAP src1; AAP src2; AAP control; AAP
 // TRA→dst). Latency matches an AAP.
+//
+//simdram:zeroalloc
 func (s *Subarray) MajCopy(r0, r1, r2 int, dsts ...int) {
 	for _, r := range [3]int{r0, r1, r2} {
 		if r < s.cfg.DataRows() || r >= s.cfg.DataRows()+s.cfg.NumTRows {

@@ -1,0 +1,74 @@
+package isa_test
+
+import (
+	"testing"
+
+	"simdram"
+	"simdram/internal/batchgen"
+	"simdram/internal/isa"
+)
+
+// FuzzValidate drives Decode/Validate with arbitrary encoded words:
+// decoding must never panic, anything Decode accepts must re-encode
+// to an instruction that decodes back to itself (decode∘encode is the
+// identity on instructions — the upper unused bits of a wire word are
+// the only thing canonicalization may drop), and the accessor methods
+// the scheduler leans on (Reads, Writes, Deps inputs) must stay total
+// on every accepted instruction.
+//
+// The seed corpus is realistic: every instruction of a
+// batchgen-generated batch — the same generator the benchmarks and
+// demos run — plus handcrafted boundary encodings.
+func FuzzValidate(f *testing.F) {
+	cfg := simdram.DefaultConfig()
+	cfg.DRAM.Banks, cfg.DRAM.SubarraysPerBank = 2, 2
+	sys, err := simdram.New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer sys.Close()
+	prog, err := batchgen.Program(sys, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, in := range prog {
+		e := in.Encode()
+		f.Add(e[0], e[1])
+	}
+	// Boundary encodings: trsp_init, zero word, saturated fields,
+	// widths at and beyond both ends, an opcode in the custom range.
+	boundary := []isa.Instruction{
+		{Op: isa.OpTrspInit, Src: [3]uint16{7}, Size: 64, Width: 8},
+		{Op: isa.OpBase, Dst: 1, Src: [3]uint16{2, 3}, Size: 1, Width: 1, N: 2},
+		{Op: isa.OpBase + 200, Dst: 1, Src: [3]uint16{2, 3, 4}, Size: 1 << 20, Width: 64, N: 3},
+		{Op: isa.OpInvalid, Size: 1, Width: 8},
+		{Op: isa.OpBase, Dst: 1, Src: [3]uint16{2, 3}, Size: 0, Width: 65, N: 2},
+	}
+	for _, in := range boundary {
+		e := in.Encode()
+		f.Add(e[0], e[1])
+	}
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0))
+
+	f.Fuzz(func(t *testing.T, w0, w1 uint64) {
+		in, err := isa.Decode(isa.Encoded{w0, w1})
+		if err != nil {
+			return // rejected wire words are fine; panics are not
+		}
+		if verr := in.Validate(); verr != nil {
+			t.Fatalf("Decode accepted an instruction Validate rejects: %+v: %v", in, verr)
+		}
+		again, err := isa.Decode(in.Encode())
+		if err != nil {
+			t.Fatalf("re-encoding a decoded instruction does not decode: %+v: %v", in, err)
+		}
+		if again != in {
+			t.Fatalf("decode∘encode not the identity: %+v != %+v", again, in)
+		}
+		reads, writes := in.Reads(), in.Writes()
+		if len(reads) > 3 || len(writes) > 1 {
+			t.Fatalf("accessors out of range: %d reads, %d writes for %+v", len(reads), len(writes), in)
+		}
+	})
+}

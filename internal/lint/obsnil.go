@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MarkerNilSafe is the doc-comment directive that puts a type under
+// the obsnil analyzer's receiver contract.
+const MarkerNilSafe = "//simdram:nilsafe"
+
+// obsPath is the observability package whose *Trace threads through
+// the serving pipeline as a possibly-nil pointer.
+const obsPath = "simdram/internal/obs"
+
+// ObsNil enforces the two halves of the observability nil contract.
+//
+// Declaration side: a type annotated //simdram:nilsafe promises that
+// every exported pointer method no-ops (or returns a zero value) on a
+// nil receiver, so call sites thread disabled telemetry through the
+// pipeline without branching. The analyzer requires each such method
+// to open with an if statement that tests the receiver against nil,
+// or to consist of a single delegation to another method on the same
+// receiver.
+//
+// Consumer side: methods are nil-safe but field accesses are not —
+// outside the obs package, reading a field of a *obs.Trace (tr.ID,
+// tr.StartUnixNs) is only allowed inside an explicit nil guard
+// (`if tr != nil { ... }` or after `if tr == nil { return }`).
+var ObsNil = &Analyzer{
+	Name: "obsnil",
+	Doc:  "enforce nil-receiver guards on //simdram:nilsafe types and nil guards around *obs.Trace field access",
+	Run:  runObsNil,
+}
+
+func runObsNil(p *Pass) error {
+	checkNilSafeDecls(p)
+	if p.Pkg.Path() != obsPath {
+		// Inside obs the receiver contract above covers nil handling;
+		// the field-guard rule is for code that merely consumes traces.
+		checkTraceFieldGuards(p)
+	}
+	return nil
+}
+
+// checkNilSafeDecls verifies the receiver contract of every
+// //simdram:nilsafe type declared in this package.
+func checkNilSafeDecls(p *Pass) {
+	nilsafe := make(map[types.Object]bool)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasMarker(gd.Doc, MarkerNilSafe) || hasMarker(ts.Doc, MarkerNilSafe) {
+					if obj := p.Info.Defs[ts.Name]; obj != nil {
+						nilsafe[obj] = true
+					}
+				}
+			}
+		}
+	}
+	if len(nilsafe) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv, tname := pointerRecv(p, fd)
+			if recv == nil || !nilsafe[tname] {
+				continue
+			}
+			if methodGuardsNil(fd, recv) {
+				continue
+			}
+			p.Report(fd.Name.Pos(),
+				"exported method %s on //simdram:nilsafe type %s neither guards the receiver against nil nor delegates to a method that does",
+				fd.Name.Name, tname.Name())
+		}
+	}
+}
+
+// pointerRecv returns the receiver identifier and the named type's
+// object when fd has a named pointer receiver, (nil, nil) otherwise.
+func pointerRecv(p *Pass, fd *ast.FuncDecl) (*ast.Ident, types.Object) {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil, nil
+	}
+	star, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return nil, nil
+	}
+	base, ok := ast.Unparen(star.X).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	return fd.Recv.List[0].Names[0], p.Info.Uses[base]
+}
+
+// methodGuardsNil reports whether the method body satisfies the
+// nil-receiver contract syntactically: it is empty, it opens with an
+// if statement whose condition compares the receiver against nil
+// (possibly inside a ||/&& chain, in either polarity), or it is a
+// single statement delegating to another method on the receiver.
+func methodGuardsNil(fd *ast.FuncDecl, recv *ast.Ident) bool {
+	body := fd.Body.List
+	if len(body) == 0 {
+		return true
+	}
+	if ifs, ok := body[0].(*ast.IfStmt); ok && condTestsNil(ifs.Cond, recv.Name) {
+		return true
+	}
+	if len(body) == 1 {
+		switch s := body[0].(type) {
+		case *ast.ReturnStmt:
+			return len(s.Results) == 1 && isRecvMethodCall(s.Results[0], recv.Name)
+		case *ast.ExprStmt:
+			return isRecvMethodCall(s.X, recv.Name)
+		}
+	}
+	return false
+}
+
+// condTestsNil reports whether cond contains `recv == nil` or
+// `recv != nil` anywhere in its ||/&& chain.
+func condTestsNil(cond ast.Expr, recv string) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR, token.LAND:
+			return condTestsNil(e.X, recv) || condTestsNil(e.Y, recv)
+		case token.EQL, token.NEQ:
+			return isIdentNamed(e.X, recv) && isNilIdent(e.Y) ||
+				isNilIdent(e.X) && isIdentNamed(e.Y, recv)
+		}
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool { return isIdentNamed(e, "nil") }
+
+// isRecvMethodCall reports whether e is recv.Method(...).
+func isRecvMethodCall(e ast.Expr, recv string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && isIdentNamed(sel.X, recv)
+}
+
+// checkTraceFieldGuards flags field accesses on *obs.Trace values
+// outside a nil guard. The traversal threads the set of identifiers
+// proven non-nil on the current path: an `if x != nil` guards its
+// body, and an `if x == nil` whose body terminates guards the rest of
+// the enclosing block.
+func checkTraceFieldGuards(p *Pass) {
+	for _, f := range p.Files {
+		walkGuarded(p, f, map[types.Object]bool{})
+	}
+}
+
+func walkGuarded(p *Pass, n ast.Node, guarded map[types.Object]bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.IfStmt:
+		if n.Init != nil {
+			walkGuarded(p, n.Init, guarded)
+		}
+		walkGuarded(p, n.Cond, guarded)
+		bodyGuards := guardsFromCond(p, n.Cond, true)
+		walkGuarded(p, n.Body, union(guarded, bodyGuards))
+		if n.Else != nil {
+			walkGuarded(p, n.Else, union(guarded, guardsFromCond(p, n.Cond, false)))
+		}
+		return
+	case *ast.BlockStmt:
+		local := guarded
+		for _, stmt := range n.List {
+			walkGuarded(p, stmt, local)
+			// `if x == nil { return }` proves x non-nil for the rest of
+			// the block.
+			if ifs, ok := stmt.(*ast.IfStmt); ok && ifs.Else == nil && terminates(ifs.Body) {
+				if g := guardsFromCond(p, ifs.Cond, false); len(g) > 0 {
+					local = union(local, g)
+				}
+			}
+		}
+		return
+	case *ast.SelectorExpr:
+		walkGuarded(p, n.X, guarded)
+		sel := p.Info.Selections[n]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return
+		}
+		if !isTracePtr(p.Info.TypeOf(n.X)) {
+			return
+		}
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil && guarded[obj] {
+				return
+			}
+		}
+		p.Report(n.Sel.Pos(),
+			"field %s read through a possibly-nil *obs.Trace: methods are nil-safe, fields are not — guard with `if %s != nil`",
+			n.Sel.Name, ast.Unparen(n.X))
+		return
+	}
+	// Generic traversal for everything else, one level at a time so the
+	// guard set stays path-sensitive.
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		walkGuarded(p, c, guarded)
+		return false
+	})
+}
+
+// guardsFromCond extracts the identifiers a condition proves non-nil
+// when it evaluates to taken. `x != nil && y != nil` guards both on
+// the true branch; `x == nil` guards x on the false branch. Mixed ||
+// chains prove nothing about their operands individually on the true
+// branch, so only the false branch of a pure ==nil chain is used.
+func guardsFromCond(p *Pass, cond ast.Expr, taken bool) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	var collect func(e ast.Expr, taken bool)
+	collect = func(e ast.Expr, taken bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			switch {
+			case e.Op == token.LAND && taken:
+				collect(e.X, true)
+				collect(e.Y, true)
+			case e.Op == token.LOR && !taken:
+				collect(e.X, false)
+				collect(e.Y, false)
+			case e.Op == token.NEQ && taken, e.Op == token.EQL && !taken:
+				for _, side := range []ast.Expr{e.X, e.Y} {
+					if id, ok := ast.Unparen(side).(*ast.Ident); ok && !isNilIdent(side) {
+						if obj := p.Info.Uses[id]; obj != nil && isTracePtr(p.Info.TypeOf(side)) {
+							out[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.NOT {
+				collect(e.X, !taken)
+			}
+		}
+	}
+	collect(cond, taken)
+	return out
+}
+
+func union(a, b map[types.Object]bool) map[types.Object]bool {
+	if len(b) == 0 {
+		return a
+	}
+	out := make(map[types.Object]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// terminates reports whether a block always transfers control out
+// (return, panic, continue, break, goto) — the shape of an early
+// nil-guard.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// isTracePtr reports whether t is *obs.Trace.
+func isTracePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Trace" && obj.Pkg() != nil && obj.Pkg().Path() == obsPath
+}

@@ -1,0 +1,63 @@
+// Package obsnilbad seeds violations of both halves of the obsnil
+// contract: a //simdram:nilsafe type with an unguarded exported
+// method, and unguarded field reads through a *obs.Trace.
+package obsnilbad
+
+import "simdram/internal/obs"
+
+// Meter promises nil-safety but one method breaks the contract.
+//
+//simdram:nilsafe
+type Meter struct{ n int }
+
+// Count reads the receiver with no guard.
+func (m *Meter) Count() int { return m.n } // want "neither guards the receiver"
+
+// Guarded opens with the canonical early return.
+func (m *Meter) Guarded() int {
+	if m == nil {
+		return 0
+	}
+	return m.n
+}
+
+// Wrapped keeps all work under the positive guard.
+func (m *Meter) Wrapped() int {
+	if m != nil {
+		return m.n
+	}
+	return 0
+}
+
+// Delegate is a single-statement delegation to a guarded method.
+func (m *Meter) Delegate() int { return m.Guarded() }
+
+// reset is unexported: the contract covers the exported surface only.
+func (m *Meter) reset() { m.n = 0 }
+
+// TraceID reads a field with no guard.
+func TraceID(tr *obs.Trace) uint64 {
+	return tr.ID // want "possibly-nil"
+}
+
+// GuardedID is the sanctioned call-site pattern.
+func GuardedID(tr *obs.Trace) uint64 {
+	if tr != nil {
+		return tr.ID
+	}
+	return 0
+}
+
+// EarlyReturnID proves tr non-nil for the rest of the block.
+func EarlyReturnID(tr *obs.Trace) int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.StartUnixNs
+}
+
+// Methods needs no guard: *obs.Trace methods are nil-safe.
+func Methods(tr *obs.Trace) string {
+	tr.End(tr.Begin("stage", 0))
+	return tr.Err()
+}

@@ -1,0 +1,45 @@
+// Package zeroallocbad seeds one violation of every zeroalloc rule;
+// the self-test asserts each marked line is flagged and no unmarked
+// line is.
+package zeroallocbad
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type sink struct{ p *point }
+
+// Hot is the seeded-violation hot path.
+//
+//simdram:zeroalloc
+func Hot(xs []int, s *sink, name string) int {
+	buf := make([]int, 0, len(xs)) // want "make allocates"
+	total := 0
+	for _, x := range xs {
+		buf = append(buf, x) // want "append may grow"
+		total += x
+	}
+	p := new(point) // want "new allocates"
+	_ = p
+	s.p = &point{x: total, y: len(buf)} // want "composite literal escapes"
+	f := func() int { return total }    // want "closure may escape"
+	total += f()
+	fmt.Println(total)                  // want "fmt call allocates"
+	lanes := []int{1, 2, 3}             // want "slice literal allocates"
+	m := map[string]int{name: 1}        // want "map literal allocates"
+	label := "lane:" + name             // want "string concatenation allocates"
+	go func() { _ = lanes }()           // want "go statement"
+	defer fmt.Println(label, m)         // want "defer may allocate"
+	box := func(v any) any { return v } // want "closure may escape"
+	_ = box(total)                      // want "implicit conversion to any"
+	return total
+}
+
+// Cold is not annotated: the same constructs pass untouched.
+func Cold(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+// Package zeroallocok is a zeroalloc-annotated function that stays
+// within the contract: in-place writes, builtin copy, preallocated
+// append under //simdram:prealloc, failure-path fmt under
+// //simdram:coldpath, and fmt.Sprintf feeding a panic (cold by
+// definition). The self-test asserts zero findings.
+package zeroallocok
+
+import "fmt"
+
+// Fill writes ramp values into dst and mirrors them into scratch,
+// which the caller sized at bind time.
+//
+//simdram:zeroalloc
+func Fill(dst, scratch []int, fail bool) int {
+	if len(scratch) < len(dst) {
+		panic(fmt.Sprintf("scratch too small: %d < %d", len(scratch), len(dst)))
+	}
+	total := 0
+	for i := range dst {
+		dst[i] = i
+		total += i
+	}
+	copy(scratch, dst)
+	out := scratch[:0]
+	for _, v := range dst {
+		out = append(out, v) //simdram:prealloc scratch spans dst
+	}
+	if fail {
+		//simdram:coldpath diagnostics on the failure path only
+		fmt.Println("fill failed", total)
+	}
+	return total
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MarkerZeroAlloc is the doc-comment directive that puts a function
+// under the zeroalloc analyzer's contract.
+const MarkerZeroAlloc = "//simdram:zeroalloc"
+
+// ZeroAlloc flags allocation constructs inside functions annotated
+// //simdram:zeroalloc — the bind-once/run-many hot paths whose
+// steady-state runs must not touch the heap. It is a syntactic
+// over-approximation of the escape analyzer: everything it flags
+// either allocates or is one inlining decision away from allocating,
+// so the hot paths stay trivially auditable. Audited exceptions are
+// suppressed per line with //simdram:prealloc (append into capacity
+// reserved at bind time) or //simdram:coldpath (failure and shutdown
+// paths that run at most once per batch).
+var ZeroAlloc = &Analyzer{
+	Name: "zeroalloc",
+	Doc:  "flag allocation constructs in //simdram:zeroalloc functions",
+	Run:  runZeroAlloc,
+}
+
+func runZeroAlloc(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd.Doc, MarkerZeroAlloc) {
+				continue
+			}
+			checkZeroAlloc(p, fd)
+		}
+	}
+	return nil
+}
+
+func checkZeroAlloc(p *Pass, fd *ast.FuncDecl) {
+	// Composite literals already reported as part of an enclosing &T{}
+	// are not reported again on their own.
+	taken := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// A panic's argument list is by definition a cold path; the
+			// fmt.Sprintf feeding it never runs in steady state.
+			if isBuiltin(p.Info, n.Fun, "panic") {
+				return false
+			}
+			switch {
+			case isBuiltin(p.Info, n.Fun, "make"):
+				p.Report(n.Pos(), "make allocates on the hot path")
+			case isBuiltin(p.Info, n.Fun, "new"):
+				p.Report(n.Pos(), "new allocates on the hot path")
+			case isBuiltin(p.Info, n.Fun, "append"):
+				p.Report(n.Pos(), "append may grow its backing array (//simdram:prealloc if capacity is reserved at bind time)")
+			case pkgOfCall(p.Info, n.Fun) == "fmt":
+				p.Report(n.Pos(), "fmt call allocates (//simdram:coldpath if this is a failure path)")
+			}
+			reportBoxedArgs(p, n)
+		case *ast.FuncLit:
+			p.Report(n.Pos(), "closure may escape to the heap")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					taken[lit] = true
+					p.Report(n.Pos(), "address of composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if taken[n] {
+				return true
+			}
+			switch p.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				p.Report(n.Pos(), "slice literal allocates on the hot path")
+			case *types.Map:
+				p.Report(n.Pos(), "map literal allocates on the hot path")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(p.Info.TypeOf(n)) {
+				p.Report(n.Pos(), "string concatenation allocates on the hot path")
+			}
+		case *ast.GoStmt:
+			p.Report(n.Pos(), "go statement allocates a goroutine and escapes its arguments")
+		case *ast.DeferStmt:
+			p.Report(n.Pos(), "defer may allocate and delays work into the hot path's epilogue")
+		}
+		return true
+	})
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// reportBoxedArgs flags implicit conversions of concrete values into
+// interface parameters — the boxing allocation of variadic ...any
+// sinks and friends. Spread calls (f(xs...)) pass an existing slice
+// and are skipped.
+func reportBoxedArgs(p *Pass, call *ast.CallExpr) {
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // builtin or type conversion
+	}
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			pt = params.At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := p.Info.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if _, isIface := at.Underlying().(*types.Interface); isIface {
+			continue // interface-to-interface, no boxing
+		}
+		p.Report(arg.Pos(), "implicit conversion to %s may allocate", pt)
+	}
+}

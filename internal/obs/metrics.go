@@ -24,9 +24,13 @@ import (
 // Counter is a monotonically increasing uint64. The zero value is
 // ready to use; all methods are safe for concurrent use and nil-safe
 // (a nil counter drops the update), so call sites never need a guard.
+//
+//simdram:nilsafe
 type Counter struct{ v atomic.Uint64 }
 
 // Add increments the counter by n.
+//
+//simdram:zeroalloc
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -49,10 +53,14 @@ func (c *Counter) Value() uint64 {
 // nanoseconds, picojoules). Add is a lock-free CAS loop on the bit
 // pattern; like Counter it is nil-safe, so optional attribution sinks
 // never need call-site guards.
+//
+//simdram:nilsafe
 type FloatCounter struct{ bits atomic.Uint64 }
 
 // Add increments the counter by v (non-positive deltas are dropped —
 // the series is monotonic by contract).
+//
+//simdram:zeroalloc
 func (c *FloatCounter) Add(v float64) {
 	if c == nil || v <= 0 {
 		return
@@ -77,6 +85,8 @@ func (c *FloatCounter) Value() float64 {
 // Gauge is an instantaneous signed level (queue depth, running jobs).
 // The zero value is ready to use; methods are concurrency- and
 // nil-safe.
+//
+//simdram:nilsafe
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores the gauge's current level.
@@ -147,6 +157,8 @@ func bucketMid(i int) int64 {
 // wait-free, allocation-free, and nil-safe — the serving hot path
 // records latencies into it with zero overhead beyond a few atomic
 // adds. The zero value is ready to use.
+//
+//simdram:nilsafe
 type Histogram struct {
 	counts [NumBuckets]atomic.Uint64
 	count  atomic.Uint64
@@ -154,6 +166,8 @@ type Histogram struct {
 }
 
 // Observe records one value (negative values clamp to zero).
+//
+//simdram:zeroalloc
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
@@ -171,10 +185,10 @@ func (h *Histogram) Observe(v int64) {
 // snapshot normalizes by recomputing the total from the buckets, so
 // Count always equals the sum of Counts.
 func (h *Histogram) Snapshot() HistSnapshot {
-	var s HistSnapshot
 	if h == nil {
-		return s
+		return HistSnapshot{}
 	}
+	var s HistSnapshot
 	for i := range h.counts {
 		c := h.counts[i].Load()
 		s.Counts[i] = c
@@ -325,6 +339,8 @@ const OverflowSeries = "obs.overflow"
 // Registry is a named collection of metrics. Lookups are get-or-create
 // and intended for setup paths (hold the returned pointer on the hot
 // path); Snapshot returns every series sorted by name.
+//
+//simdram:nilsafe
 type Registry struct {
 	mu        sync.Mutex
 	counters  map[string]*Counter

@@ -43,6 +43,8 @@ func (s Span) DurNs() int64 {
 // plus the submitting goroutine (queue span), which hand off through
 // the scheduler; the mutex makes reads from debug surfaces safe while
 // a job is still in flight.
+//
+//simdram:nilsafe
 type Trace struct {
 	// ID is the job's trace ID, unique per tracer.
 	ID uint64

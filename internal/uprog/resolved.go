@@ -90,6 +90,8 @@ func Resolve(p *Program, b Binding, cfg dram.Config) (*ResolvedStream, error) {
 //
 // Reentrancy matches Run: concurrent calls on distinct subarrays are
 // safe; two concurrent runs on the same subarray race.
+//
+//simdram:zeroalloc
 func RunResolved(sa *dram.Subarray, st *ResolvedStream) {
 	for i := range st.Ops {
 		op := &st.Ops[i]

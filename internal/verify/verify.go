@@ -1,0 +1,398 @@
+// Package verify statically checks a compiled isa.Program (and,
+// optionally, the object binding it will run against) before anything
+// is issued to the control unit. The SIMDRAM lowering chain — graph
+// DAG → isa.Program → ctrl batch plan → uprog.ResolvedStream — is
+// otherwise only validated dynamically, so a miscompile (a slot-reuse
+// WAR bug, a stale hazard edge, a width mismatch on a custom op)
+// would surface as silently wrong results. The verifier turns those
+// into typed, located compile-time diagnostics.
+//
+// Checks, in evaluation order:
+//
+//   - encoding: non-empty program, non-zero element counts
+//   - deps: the supplied dependence graph is structurally sound
+//     (one row per instruction, every edge points strictly earlier)
+//   - opcode / arity / width: every instruction resolves against the
+//     ops catalog (including RegisterCustom codes), its effective
+//     arity is encodable, and operand widths match the operation's
+//     signature
+//   - object / def-use: every handle names a tracked object and no
+//     source is read before something defines it
+//   - alias: the destination's row extents are disjoint from every
+//     source's (SIMDRAM μPrograms clobber scratch rows in the
+//     destination's region, so in-place operation is never safe)
+//   - bounds: every referenced row extent fits inside the subarray's
+//     data-row region
+//   - hazard: an independent recomputation of the RAW/WAW/WAR hazard
+//     pairs, cross-checked against the dependence graph the scheduler
+//     will use (isa.Program.Deps by default) — every hazard pair must
+//     be ordered by some path of edges, so the scheduler can never
+//     silently under-constrain
+//
+// All failures are reported together as an errors.Join of
+// *Diagnostic values; use errors.As to recover the first one, or
+// Diagnostics to recover them all.
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"simdram/internal/isa"
+	"simdram/internal/ops"
+)
+
+// Check names one verifier check; every Diagnostic carries the check
+// that produced it.
+type Check string
+
+// The verifier's checks.
+const (
+	CheckEncoding Check = "encoding" // program/instruction shape (empty program, zero size)
+	CheckOpcode   Check = "opcode"   // opcode resolves against the ops catalog
+	CheckArity    Check = "arity"    // effective operand count is encodable and sane
+	CheckWidth    Check = "width"    // element widths match the operation signature
+	CheckObject   Check = "object"   // every handle names a tracked object
+	CheckDefUse   Check = "def-use"  // no source read before definition
+	CheckAlias    Check = "alias"    // destination extents disjoint from sources
+	CheckBounds   Check = "bounds"   // extents inside the subarray data-row region
+	CheckDeps     Check = "deps"     // dependence graph structurally sound
+	CheckHazard   Check = "hazard"   // every RAW/WAW/WAR pair ordered by the graph
+)
+
+// Operand values for Diagnostic.Operand beyond source indices 0..2.
+const (
+	// OperandNone marks a diagnostic about the whole instruction (or
+	// the whole program, when Instr is negative).
+	OperandNone = -2
+	// OperandDst marks a diagnostic about the destination operand.
+	OperandDst = -1
+)
+
+// Diagnostic is one located verifier failure: which check failed, on
+// which instruction, on which operand, about which object handle.
+type Diagnostic struct {
+	Check   Check  // the check that failed
+	Instr   int    // instruction index; -1 for program-level diagnostics
+	Operand int    // source index 0..2, OperandDst, or OperandNone
+	Handle  uint16 // the object handle involved, if any
+	msg     string
+}
+
+// Error renders the diagnostic as
+// "verify: <check>: instruction <i> [dst|src<k>]: <detail>".
+func (d *Diagnostic) Error() string {
+	loc := ""
+	if d.Instr >= 0 {
+		loc = fmt.Sprintf(": instruction %d", d.Instr)
+		switch {
+		case d.Operand == OperandDst:
+			loc += " [dst]"
+		case d.Operand >= 0:
+			loc += fmt.Sprintf(" [src%d]", d.Operand)
+		}
+	}
+	return fmt.Sprintf("verify: %s%s: %s", d.Check, loc, d.msg)
+}
+
+// Extent is one contiguous run of DRAM rows an object occupies within
+// a (bank, subarray) pair: Rows rows starting at Row.
+type Extent struct {
+	Bank, Sub int
+	Row, Rows int
+}
+
+// overlaps reports whether two extents share at least one row.
+func (e Extent) overlaps(o Extent) bool {
+	return e.Bank == o.Bank && e.Sub == o.Sub &&
+		e.Row < o.Row+o.Rows && o.Row < e.Row+e.Rows
+}
+
+// Object describes what the verifier knows about one handle's
+// backing object.
+type Object struct {
+	// Width is the object's element width in bits.
+	Width int
+	// Defined reports whether the object holds data before the program
+	// runs (stored input, splatted constant). Undefined objects must be
+	// written by an earlier instruction before anything reads them.
+	Defined bool
+	// Extents are the row ranges the object occupies; nil skips the
+	// alias and bounds checks for this handle.
+	Extents []Extent
+}
+
+// Options configures Program.
+type Options struct {
+	// Objects maps instruction handles to their backing objects. Nil
+	// skips every binding-dependent check (object, def-use, width
+	// against the binding, alias, bounds); the encoding, opcode,
+	// arity, deps, and hazard checks still run.
+	Objects map[uint16]Object
+	// DataRows is the number of data rows per subarray; 0 skips the
+	// bounds check.
+	DataRows int
+	// Deps is the dependence graph the scheduler will execute with.
+	// Nil makes the verifier compute isa.Program.Deps itself — that is
+	// the cross-check mode: the recomputed hazard pairs are validated
+	// against the exact graph the batched engine uses.
+	Deps [][]int
+}
+
+// Diagnostics unpacks every *Diagnostic joined into err, in the order
+// the verifier found them. Nil for a nil error.
+func Diagnostics(err error) []*Diagnostic {
+	if err == nil {
+		return nil
+	}
+	type unwrapper interface{ Unwrap() []error }
+	var out []*Diagnostic
+	var walk func(error)
+	walk = func(e error) {
+		if u, ok := e.(unwrapper); ok {
+			for _, sub := range u.Unwrap() {
+				walk(sub)
+			}
+			return
+		}
+		var d *Diagnostic
+		if errors.As(e, &d) {
+			out = append(out, d)
+		}
+	}
+	walk(err)
+	return out
+}
+
+// Program verifies p against opt and returns every failure joined
+// into one error (nil when the program verifies clean).
+func Program(p isa.Program, opt Options) error {
+	var diags []error
+	report := func(check Check, instr, operand int, handle uint16, format string, args ...any) {
+		diags = append(diags, &Diagnostic{
+			Check:   check,
+			Instr:   instr,
+			Operand: operand,
+			Handle:  handle,
+			msg:     fmt.Sprintf(format, args...),
+		})
+	}
+
+	if len(p) == 0 {
+		report(CheckEncoding, -1, OperandNone, 0, "empty program")
+		return errors.Join(diags...)
+	}
+
+	deps := opt.Deps
+	if deps == nil {
+		deps = p.Deps()
+	}
+	depsOK := true
+	if len(deps) != len(p) {
+		report(CheckDeps, -1, OperandNone, 0,
+			"dependence graph has %d rows for %d instructions", len(deps), len(p))
+		depsOK = false
+	} else {
+		for i, row := range deps {
+			for _, d := range row {
+				if d < 0 || d >= i {
+					report(CheckDeps, i, OperandNone, 0,
+						"edge to instruction %d does not point strictly earlier", d)
+					depsOK = false
+				}
+			}
+		}
+	}
+
+	touches := map[uint16][]access{}
+	written := map[uint16]bool{} // handles written by instructions already scanned
+
+	checkBounds := func(i, operand int, h uint16, obj Object) {
+		if opt.DataRows <= 0 {
+			return
+		}
+		for _, e := range obj.Extents {
+			if e.Row < 0 || e.Rows < 0 || e.Row+e.Rows > opt.DataRows {
+				report(CheckBounds, i, operand, h,
+					"object %d rows [%d,%d) outside the %d-row data region of bank %d subarray %d",
+					h, e.Row, e.Row+e.Rows, opt.DataRows, e.Bank, e.Sub)
+				return
+			}
+		}
+	}
+
+	for i, in := range p {
+		if in.Width < 1 || in.Width > 64 {
+			report(CheckWidth, i, OperandNone, 0, "element width %d out of range [1,64]", in.Width)
+		}
+		if in.Size == 0 {
+			report(CheckEncoding, i, OperandNone, 0, "zero-size instruction")
+		}
+		if in.Op == isa.OpTrspInit {
+			h := in.Src[0]
+			if opt.Objects != nil {
+				obj, ok := opt.Objects[h]
+				if !ok {
+					report(CheckObject, i, 0, h, "handle %d names no tracked object", h)
+				} else {
+					checkBounds(i, 0, h, obj)
+				}
+			}
+			touches[h] = append(touches[h], access{instr: i, operand: 0})
+			continue
+		}
+		if !in.Op.IsOperation() {
+			report(CheckOpcode, i, OperandNone, 0,
+				"opcode %d is neither bbop_trsp_init nor an operation", in.Op)
+			continue
+		}
+		code, _ := in.Op.ToOp()
+		def, err := ops.ByCode(code)
+		if err != nil {
+			report(CheckOpcode, i, OperandNone, 0,
+				"opcode %d names no registered operation", in.Op)
+			continue
+		}
+		if def.Arity < 0 && in.N < 2 {
+			report(CheckArity, i, OperandNone, 0,
+				"N-ary operation %s needs N >= 2, have N=%d", def.Name, in.N)
+			continue
+		}
+		arity := def.EffArity(int(in.N))
+		if arity < 1 || arity > 3 {
+			report(CheckArity, i, OperandNone, 0,
+				"operation %s has effective arity %d, the encodable range is [1,3]", def.Name, arity)
+			continue
+		}
+
+		w := int(in.Width)
+		wantDst := def.DstWidth(w)
+		srcWs := def.SourceWidths(w, arity)
+
+		var dstObj Object
+		dstKnown := false
+		if opt.Objects != nil {
+			var ok bool
+			if dstObj, ok = opt.Objects[in.Dst]; !ok {
+				report(CheckObject, i, OperandDst, in.Dst, "handle %d names no tracked object", in.Dst)
+			} else {
+				dstKnown = true
+				if dstObj.Width != wantDst {
+					report(CheckWidth, i, OperandDst, in.Dst,
+						"destination is %d bits wide, operation %s produces %d-bit elements from %d-bit sources",
+						dstObj.Width, def.Name, wantDst, w)
+				}
+				checkBounds(i, OperandDst, in.Dst, dstObj)
+			}
+		}
+		for k := 0; k < arity; k++ {
+			h := in.Src[k]
+			touches[h] = append(touches[h], access{instr: i, operand: k})
+			if opt.Objects == nil {
+				continue
+			}
+			obj, ok := opt.Objects[h]
+			if !ok {
+				report(CheckObject, i, k, h, "handle %d names no tracked object", h)
+				continue
+			}
+			if k < len(srcWs) && obj.Width != srcWs[k] {
+				report(CheckWidth, i, k, h,
+					"source is %d bits wide, operation %s wants a %d-bit operand here",
+					obj.Width, def.Name, srcWs[k])
+			}
+			if !obj.Defined && !written[h] {
+				report(CheckDefUse, i, k, h,
+					"reads object %d before any instruction defines it", h)
+			}
+			checkBounds(i, k, h, obj)
+			if h == in.Dst {
+				report(CheckAlias, i, k, h,
+					"destination and source are the same object %d; SIMDRAM operations are never in-place", h)
+			} else if dstKnown {
+				for _, de := range dstObj.Extents {
+					for _, se := range obj.Extents {
+						if de.overlaps(se) {
+							report(CheckAlias, i, k, h,
+								"destination object %d rows [%d,%d) overlap source object %d rows [%d,%d) in bank %d subarray %d",
+								in.Dst, de.Row, de.Row+de.Rows, h, se.Row, se.Row+se.Rows, de.Bank, de.Sub)
+						}
+					}
+				}
+			}
+		}
+		touches[in.Dst] = append(touches[in.Dst], access{instr: i, operand: OperandDst, write: true})
+		written[in.Dst] = true
+	}
+
+	if depsOK {
+		checkHazards(p, deps, touches, report)
+	}
+	return errors.Join(diags...)
+}
+
+// checkHazards replays every handle's access sequence, derives the
+// RAW/WAW/WAR hazard pairs exactly as isa.Program.Deps defines them
+// (against the last writer and the readers since it), and requires
+// each pair to be ordered by a path of edges in deps. Reachability is
+// precomputed as per-instruction ancestor bitsets — valid because
+// every edge points strictly earlier (checked by the caller).
+func checkHazards(p isa.Program, deps [][]int,
+	touches map[uint16][]access, report reportFunc) {
+	n := len(p)
+	words := (n + 63) / 64
+	anc := make([]uint64, n*words)
+	for i := 0; i < n; i++ {
+		row := anc[i*words : (i+1)*words]
+		for _, d := range deps[i] {
+			drow := anc[d*words : (d+1)*words]
+			for w := range row {
+				row[w] |= drow[w]
+			}
+			row[d/64] |= 1 << (d % 64)
+		}
+	}
+	ordered := func(earlier, later int) bool {
+		return anc[later*words+earlier/64]&(1<<(earlier%64)) != 0
+	}
+
+	for h, accs := range touches {
+		lastWrite := -1
+		var readersSince []access
+		for _, a := range accs {
+			if !a.write {
+				if lastWrite >= 0 && lastWrite != a.instr && !ordered(lastWrite, a.instr) {
+					report(CheckHazard, a.instr, a.operand, h,
+						"read-after-write hazard on object %d: no dependence path orders this after instruction %d",
+						h, lastWrite)
+				}
+				readersSince = append(readersSince, a)
+				continue
+			}
+			if lastWrite >= 0 && lastWrite != a.instr && !ordered(lastWrite, a.instr) {
+				report(CheckHazard, a.instr, a.operand, h,
+					"write-after-write hazard on object %d: no dependence path orders this after instruction %d",
+					h, lastWrite)
+			}
+			for _, r := range readersSince {
+				if r.instr != a.instr && !ordered(r.instr, a.instr) {
+					report(CheckHazard, a.instr, a.operand, h,
+						"write-after-read hazard on object %d: no dependence path orders this after the read at instruction %d",
+						h, r.instr)
+				}
+			}
+			lastWrite = a.instr
+			readersSince = readersSince[:0]
+		}
+	}
+}
+
+// access records one handle touch (the instruction, the operand slot,
+// read or write) for the hazard recomputation.
+type access struct {
+	instr   int
+	operand int
+	write   bool
+}
+
+type reportFunc func(check Check, instr, operand int, handle uint16, format string, args ...any)

@@ -118,6 +118,7 @@ func TestResolvedDifferentialSystem(t *testing.T) {
 		sys := testSystem(t)
 		t.Cleanup(sys.Close)
 		sys.SetInterpretive(interp)
+		sys.SetVerifyPlans(true) // every batch in the differential must verify clean
 		prog, outs := randomHazardProgram(t, rand.New(rand.NewSource(seed)), sys, n, w, 4, 16)
 		return sys, prog, outs
 	}
@@ -165,6 +166,7 @@ func TestResolvedDifferentialCluster(t *testing.T) {
 
 	build := func(interp bool) (*Cluster, isa.Program, []*ShardedVector) {
 		c := testCluster(t, channels)
+		c.SetVerifyPlans(true) // every shard in the differential must verify clean
 		for i := 0; i < c.Channels(); i++ {
 			c.Channel(i).SetInterpretive(interp)
 		}
@@ -236,6 +238,7 @@ func TestResolvedDifferentialGraph(t *testing.T) {
 		sys := testGraphSystem(t)
 		t.Cleanup(sys.Close)
 		sys.SetInterpretive(interp)
+		sys.SetVerifyPlans(true) // compiled plans must verify clean in both modes
 		rng := rand.New(rand.NewSource(seed))
 		leaves := make([]*Expr, 4)
 		for i := range leaves {

@@ -97,6 +97,14 @@ type ServerConfig struct {
 	// weight-1 priority-0 default. While a tier's SLOs are burning, its
 	// priority preempts queued work of strictly lower-priority tiers.
 	Tiers []Tier
+	// VerifyPlans runs the static IR verifier (internal/verify) over
+	// every compiled plan before it executes: def-before-use, operand
+	// aliasing, width/arity/opcode consistency, binding bounds, and an
+	// independent hazard-edge recomputation cross-checked against the
+	// scheduler's dependence graph. A failing plan rejects the job with
+	// typed *verify.Diagnostic errors instead of computing wrong
+	// results. Costs one linear pass over each program per job.
+	VerifyPlans bool
 }
 
 // DefaultServerConfig returns a server of n default-geometry channels
@@ -191,6 +199,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.VerifyPlans {
+		cl.SetVerifyPlans(true)
+	}
 	if cfg.TraceDepth == 0 {
 		cfg.TraceDepth = 64
 	}
@@ -236,6 +247,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 
 // Config returns the server configuration (with defaults applied).
 func (s *Server) Config() ServerConfig { return s.cfg }
+
+// VerifiedPlans returns how many programs the IR verifier has checked
+// and passed across the server's channels (0 unless
+// ServerConfig.VerifyPlans is set).
+func (s *Server) VerifiedPlans() int64 { return s.cl.VerifiedPlans() }
 
 // Close stops admission, fails queued jobs with ErrServerClosed,
 // waits for running jobs, stops the telemetry pump, and releases every
@@ -631,6 +647,9 @@ func (s *Server) runLazy(sys *System, worker int, cancel <-chan struct{}, exprs 
 			}
 		}
 	}()
+	if err := sys.verifyLowered(lw); err != nil {
+		return err
+	}
 	if len(lw.prog) > 0 {
 		pspan := tr.Begin("prepare", 0)
 		pp, err := sys.prepareProgramTraced(lw.prog, tr, pspan)

@@ -101,6 +101,9 @@ func toMetricPoints(ms []obs.Metric) []MetricPoint {
 }
 
 func toJobTrace(t *obs.Trace) JobTrace {
+	if t == nil {
+		return JobTrace{}
+	}
 	spans := t.Spans()
 	jt := JobTrace{ID: t.ID, StartUnixNs: t.StartUnixNs, Err: t.Err(), Spans: make([]TraceSpan, len(spans))}
 	for i, s := range spans {

@@ -26,6 +26,7 @@ package simdram
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"simdram/internal/ctrl"
 	"simdram/internal/dram"
@@ -111,6 +112,12 @@ type System struct {
 	// profile-guided recompiles (see ProfileStats).
 	plans    *graph.PlanCache
 	profiles *graph.ProfileStore
+
+	// verifyPlans gates the static IR verifier (internal/verify) on
+	// every lowered or batch-prepared program; verified counts the
+	// programs that passed.
+	verifyPlans bool
+	verified    atomic.Int64
 }
 
 // handleSpace hands out 16-bit object handles, recycling freed ones so
@@ -189,6 +196,26 @@ func (s *System) Module() *dram.Module { return s.mod }
 // host-side speedup. Do not toggle while operations are executing;
 // programs prepared before the switch keep their mode.
 func (s *System) SetInterpretive(on bool) { s.cu.SetInterpretive(on) }
+
+// SetVerifyPlans gates the static IR verifier: when on, every program
+// the graph compiler lowers and every batch ExecBatch prepares is
+// checked (def-before-use, operand aliasing, width/arity/opcode
+// consistency, binding bounds, and an independent recomputation of the
+// RAW/WAW/WAR hazard edges cross-checked against the scheduler's
+// dependence graph) before anything executes, and the control unit
+// fails resolution errors eagerly at Prepare time. A verification
+// failure rejects the whole program with typed *verify.Diagnostic
+// errors. Like SetInterpretive, do not toggle while operations are
+// executing.
+func (s *System) SetVerifyPlans(on bool) {
+	s.verifyPlans = on
+	s.cu.SetVerifyPlans(on)
+}
+
+// VerifiedPlans returns how many programs the IR verifier has checked
+// and passed since the system was built (0 unless SetVerifyPlans is
+// on).
+func (s *System) VerifiedPlans() int64 { return s.verified.Load() }
 
 // TranspositionUnit exposes the transposition unit's statistics.
 func (s *System) TranspositionUnit() *vertical.Unit { return s.tu }
